@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure benchmark regenerates its paper artifact (the data series
+behind each panel) and writes the rendered text to
+``benchmarks/output/<figure>.txt`` in addition to printing it, so the
+series survive the pytest capture.  The workload volume is controlled by
+``REPRO_BENCH_SETS`` (task sets per data point; default 150 — the paper
+used 50 000, which is a CPU-budget knob, not a modelling one) and
+``REPRO_BENCH_JOBS`` (worker processes; default: all cores).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_sets(default: int = 150) -> int:
+    return int(os.environ.get("REPRO_BENCH_SETS", default))
+
+
+def bench_jobs() -> int | None:
+    raw = os.environ.get("REPRO_BENCH_JOBS", "0")
+    jobs = int(raw)
+    return None if jobs == 0 else jobs
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def emit(output_dir, capsys):
+    """Print a report and persist it under benchmarks/output/."""
+
+    def _emit(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+            print(f"[written to {path}]")
+
+    return _emit
+
+
+def run_figure(figure_factory, sets=None, seed=2016):
+    """Run one figure sweep with the benchmark-scale workload."""
+    from repro.experiments import run_sweep
+
+    return run_sweep(
+        figure_factory(),
+        sets=sets if sets is not None else bench_sets(),
+        seed=seed,
+        jobs=bench_jobs(),
+    )

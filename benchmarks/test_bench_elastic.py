@@ -1,0 +1,83 @@
+"""Extension bench: graceful degradation curves with elastic LO tasks.
+
+For loads beyond the schedulable region, how much LO service must be
+sacrificed to admit the workload?  Sweeps NSU past the feasibility cliff
+and reports the rigid acceptance ratio next to the elastic admission's
+mean delivered service level (LO tasks may stretch to 2x their period).
+"""
+
+import numpy as np
+from conftest import bench_sets
+
+from repro.elastic import ElasticMCTask, elastic_admission
+from repro.gen import WorkloadConfig, generate_taskset
+from repro.partition import CATPA
+
+
+def make_elastic(taskset, max_stretch=2.0):
+    """LO tasks become elastic up to ``max_stretch``; HI tasks stay rigid."""
+    return [
+        ElasticMCTask(
+            task=t,
+            max_period=t.period * (max_stretch if t.criticality == 1 else 1.0),
+        )
+        for t in taskset
+    ]
+
+
+def test_elastic_degradation_curve(benchmark, emit):
+    # K=2's feasibility cliff sits near NSU ~ 0.9; sweep across and past
+    # it (NSU > 1 over-subscribes even the raw level-1 load).
+    nsu_grid = (0.8, 0.9, 1.0, 1.1)
+    sets = max(10, bench_sets(60) // 4)
+    cfg0 = WorkloadConfig(cores=4, levels=2, task_count_range=(12, 20))
+
+    def campaign():
+        rows = {}
+        catpa = CATPA()
+        for nsu in nsu_grid:
+            cfg = cfg0.with_(nsu=nsu)
+            rigid_ok = admitted = 0
+            service = []
+            for i in range(sets):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence(123, spawn_key=(i,))
+                )
+                ts = generate_taskset(cfg, rng)
+                rigid = catpa.partition(ts, cfg.cores)
+                rigid_ok += rigid.schedulable
+                adm = elastic_admission(
+                    make_elastic(ts), cfg.cores, catpa, steps=15
+                )
+                if adm.admitted:
+                    admitted += 1
+                    service.append(adm.mean_service_level)
+            rows[nsu] = {
+                "rigid_ratio": rigid_ok / sets,
+                "elastic_ratio": admitted / sets,
+                "mean_service": float(np.mean(service)) if service else float("nan"),
+            }
+        return rows
+
+    rows = benchmark.pedantic(campaign, rounds=1, iterations=1)
+
+    header = f"{'NSU':>5} {'rigid':>7} {'elastic':>8} {'service':>8}"
+    lines = [
+        f"Elastic admission (LO stretch <= 2x, K=2, M=4, {sets} sets/point)",
+        header,
+        "-" * len(header),
+    ]
+    for nsu, r in rows.items():
+        svc = "-" if np.isnan(r["mean_service"]) else f"{r['mean_service']:.3f}"
+        lines.append(
+            f"{nsu:>5} {r['rigid_ratio']:>7.3f} {r['elastic_ratio']:>8.3f}"
+            f" {svc:>8}"
+        )
+    emit("elastic_degradation", "\n".join(lines))
+
+    for nsu, r in rows.items():
+        # Elasticity can only widen the admitted region...
+        assert r["elastic_ratio"] >= r["rigid_ratio"] - 1e-12, nsu
+        # ...and admitted sets deliver a meaningful service level.
+        if not np.isnan(r["mean_service"]):
+            assert 0.5 <= r["mean_service"] <= 1.0

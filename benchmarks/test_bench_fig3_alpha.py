@@ -1,0 +1,32 @@
+"""Figure 3: impact of the workload-imbalance threshold alpha.
+
+Only CA-TPA consumes alpha, so the baselines' curves are flat by
+construction; raising alpha lets CA-TPA pack more aggressively (higher
+schedulability, less balance), per Section IV-B.
+"""
+
+from conftest import run_figure
+
+from repro.experiments import figure3_alpha, format_sweep
+
+
+def test_fig3_alpha(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure(figure3_alpha), rounds=1, iterations=1
+    )
+    emit("fig3_alpha", format_sweep(result))
+
+    ratios = result.series("sched_ratio")
+    # Baselines ignore alpha: their series are exactly constant.
+    for scheme in ("ffd", "bfd", "wfd", "hybrid"):
+        series = ratios[scheme]
+        assert max(series) - min(series) < 1e-12, scheme
+
+    # CA-TPA's schedulability is (weakly) non-decreasing in alpha, and
+    # its imbalance at the loosest threshold is at least what it is at
+    # the tightest (more packing freedom -> less balance).
+    ca_ratio = ratios["ca-tpa"]
+    assert ca_ratio[-1] >= ca_ratio[0] - 0.03
+    ca_imb = result.series("imbalance")["ca-tpa"]
+    if ca_ratio[0] > 0.05 and ca_ratio[-1] > 0.05:
+        assert ca_imb[-1] >= ca_imb[0] - 0.05

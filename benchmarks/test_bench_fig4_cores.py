@@ -1,0 +1,28 @@
+"""Figure 4: impact of the number of processor cores M.
+
+NSU fixes the *per-core* level-1 load, so more cores mean more
+placement flexibility at the same relative load; Section IV-B reports
+(mildly) improving schedulability with M and better balance for CA-TPA
+than FFD/BFD.
+"""
+
+from conftest import run_figure
+
+from repro.experiments import figure4_cores, format_sweep
+
+
+def test_fig4_cores(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure(figure4_cores), rounds=1, iterations=1
+    )
+    emit("fig4_cores", format_sweep(result))
+
+    ratios = result.series("sched_ratio")
+    imb = result.series("imbalance")
+    # CA-TPA stays within noise of the best scheme at every M...
+    for i, cores in enumerate(result.definition.values):
+        best = max(ratios[s][i] for s in ratios)
+        assert ratios["ca-tpa"][i] >= best - 0.07, cores
+        # ...and is more balanced than FFD wherever both schedule sets.
+        if ratios["ca-tpa"][i] > 0.05 and ratios["ffd"][i] > 0.05:
+            assert imb["ca-tpa"][i] <= imb["ffd"][i] + 0.05, cores

@@ -1,0 +1,26 @@
+"""Figure 5: impact of the number of criticality levels K.
+
+With NSU fixed at level 1, a larger K means more WCET inflation for the
+top tasks (IFC compounds per level), so every scheme's schedulability
+falls quickly with K — the paper's Figure 5(a) shape.
+"""
+
+from conftest import run_figure
+
+from repro.experiments import figure5_levels, format_sweep
+
+
+def test_fig5_levels(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure(figure5_levels), rounds=1, iterations=1
+    )
+    emit("fig5_levels", format_sweep(result))
+
+    ratios = result.series("sched_ratio")
+    for scheme, series in ratios.items():
+        # sharply decreasing in K (weak-monotone with noise allowance)
+        for lo, hi in zip(series, series[1:]):
+            assert hi <= lo + 0.05, f"{scheme} ratio increased with K: {series}"
+        assert series[0] >= series[-1]
+    # All schemes start near-perfect at K=2 under the default NSU=0.6.
+    assert min(ratios[s][0] for s in ratios) > 0.5

@@ -1,0 +1,35 @@
+"""Tables I-III: the worked example where FFD fails and CA-TPA succeeds."""
+
+from conftest import run_figure  # noqa: F401  (shared conftest import path)
+
+from repro.experiments import (
+    allocation_trace,
+    format_allocation_trace,
+    format_table1,
+    paper_example_taskset,
+)
+from repro.partition import CATPA, FirstFitDecreasing
+
+
+def test_tables_1_to_3(benchmark, emit):
+    def regenerate():
+        ts = paper_example_taskset()
+        ffd_steps = allocation_trace(FirstFitDecreasing(), ts, cores=2)
+        ca_steps = allocation_trace(CATPA(), ts, cores=2)
+        return ts, ffd_steps, ca_steps
+
+    ts, ffd_steps, ca_steps = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    text = "\n\n".join(
+        [
+            format_table1(ts),
+            format_allocation_trace("Table II: allocations under FFD", ts, ffd_steps),
+            format_allocation_trace(
+                "Table III: allocations under CA-TPA", ts, ca_steps
+            ),
+        ]
+    )
+    emit("tables_1_to_3", text)
+
+    assert ffd_steps[-1].core is None  # FFD strands the last task
+    assert all(s.core is not None for s in ca_steps)  # CA-TPA places all five

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Beyond the paper: EDF-VD vs fixed-priority vs DBF-based partitioning.
+
+Compares three families of per-core schedulability machinery on the same
+dual-criticality workloads:
+
+* the paper's utilization-based EDF-VD tests (`ca-tpa`, `ffd`),
+* partitioned fixed-priority AMC (AMC-rtb + Audsley; `fp-ff`, `fp-wf`),
+* the Ekberg-Yi demand-bound analysis with deadline tuning (`dbf-ffd`).
+
+Also demonstrates the JSON workload corpus I/O: the generated task sets
+are saved to disk and re-loaded, so a comparison is exactly repeatable
+from the files alone.
+
+Run with::
+
+    python examples/scheduler_comparison.py [--sets 40]
+"""
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.gen import WorkloadConfig, generate_taskset
+from repro.model import load_taskset, save_taskset
+from repro.partition import get_partitioner
+
+SCHEMES = ("ca-tpa", "ffd", "fp-ff", "fp-wf", "dbf-ffd")
+
+
+def build_corpus(directory: Path, sets: int, nsu: float) -> list[Path]:
+    config = WorkloadConfig(cores=2, levels=2, nsu=nsu, task_count_range=(8, 14))
+    paths = []
+    for i in range(sets):
+        rng = np.random.default_rng(np.random.SeedSequence(404, spawn_key=(i,)))
+        ts = generate_taskset(config, rng)
+        path = directory / f"nsu{nsu:.2f}_set{i:03d}.json"
+        save_taskset(ts, path)
+        paths.append(path)
+    return paths
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--sets", type=int, default=40)
+    args = parser.parse_args()
+
+    header = f"{'NSU':>5} | " + " ".join(f"{s:>8}" for s in SCHEMES)
+    print("Schedulability ratio per scheme (K=2, M=2):")
+    print(header)
+    print("-" * len(header))
+
+    timing = {s: 0.0 for s in SCHEMES}
+    with tempfile.TemporaryDirectory() as tmp:
+        for nsu in (0.65, 0.75, 0.85):
+            corpus = build_corpus(Path(tmp), args.sets, nsu)
+            accepted = {s: 0 for s in SCHEMES}
+            for path in corpus:
+                ts = load_taskset(path)  # exercise the corpus round trip
+                for s in SCHEMES:
+                    start = time.perf_counter()
+                    accepted[s] += get_partitioner(s).partition(ts, 2).schedulable
+                    timing[s] += time.perf_counter() - start
+            cells = " ".join(f"{accepted[s] / args.sets:>8.3f}" for s in SCHEMES)
+            print(f"{nsu:>5} | {cells}")
+
+    print("\nTotal analysis wall-clock (all points):")
+    for s in SCHEMES:
+        print(f"  {s:>8}: {timing[s]:.2f}s")
+    print(
+        "\nReading: the three per-core tests are pairwise *incomparable*"
+        "\nsufficient tests.  On these workloads AMC-rtb fixed priority is"
+        "\nsurprisingly competitive with (often ahead of) the Eq.-(7) EDF-VD"
+        "\npackers; the DBF analysis beats plain Eq.-(7) FFD but costs an"
+        "\norder of magnitude more CPU."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""EDF-VD schedulability analysis for mixed-criticality task sets."""
+
+from repro.analysis.contribution import (
+    contribution_matrix,
+    contribution_order,
+    utilization_contributions,
+)
+from repro.analysis.dbf import (
+    DualPerTaskPlan,
+    dbf_step,
+    hi_mode_demand,
+    is_feasible_dbf,
+    lo_mode_demand,
+    tune_virtual_deadlines,
+)
+from repro.analysis.dual import (
+    SPEEDUP_BOUND,
+    DualUtilizations,
+    deadline_scale_factor,
+    is_feasible_classic,
+    is_feasible_dual,
+    minimum_speed,
+)
+from repro.analysis.edfvd import (
+    available_utilizations,
+    capacity_terms,
+    core_utilization,
+    demand_terms,
+    first_feasible_condition,
+    is_feasible_theorem1,
+    lambda_factors,
+)
+from repro.analysis.global_mc import (
+    GlobalAdmission,
+    gfb_edf_schedulable,
+    global_edfvd_admission,
+)
+from repro.analysis.response_time import (
+    FPAssignment,
+    amc_rtb_schedulable,
+    audsley_assignment,
+    deadline_monotonic_order,
+    response_time_hi,
+    response_time_lo,
+)
+from repro.analysis.feasibility import (
+    infeasible_cores,
+    is_feasible_core,
+    is_feasible_partition,
+)
+from repro.analysis.simple import (
+    is_feasible_plain_edf,
+    is_feasible_simple,
+    worst_case_load,
+)
+from repro.analysis.virtual_deadlines import (
+    VirtualDeadlineAssignment,
+    assign_virtual_deadlines,
+)
+
+__all__ = [
+    "available_utilizations",
+    "capacity_terms",
+    "contribution_matrix",
+    "contribution_order",
+    "core_utilization",
+    "dbf_step",
+    "deadline_scale_factor",
+    "demand_terms",
+    "DualPerTaskPlan",
+    "DualUtilizations",
+    "hi_mode_demand",
+    "is_feasible_dbf",
+    "lo_mode_demand",
+    "tune_virtual_deadlines",
+    "first_feasible_condition",
+    "FPAssignment",
+    "GlobalAdmission",
+    "gfb_edf_schedulable",
+    "global_edfvd_admission",
+    "amc_rtb_schedulable",
+    "audsley_assignment",
+    "deadline_monotonic_order",
+    "response_time_hi",
+    "response_time_lo",
+    "infeasible_cores",
+    "is_feasible_classic",
+    "is_feasible_core",
+    "is_feasible_dual",
+    "is_feasible_partition",
+    "is_feasible_plain_edf",
+    "is_feasible_simple",
+    "is_feasible_theorem1",
+    "lambda_factors",
+    "minimum_speed",
+    "SPEEDUP_BOUND",
+    "utilization_contributions",
+    "VirtualDeadlineAssignment",
+    "assign_virtual_deadlines",
+    "worst_case_load",
+]

@@ -1,0 +1,58 @@
+"""Utilization contributions (Eqs. (12)-(13)) and the CA-TPA task order.
+
+A task's *utilization contribution* at level ``k`` is its share of the
+system-wide level-``k`` utilization,
+
+.. math::
+
+    \\mathcal{C}_i(k) = u_i(k) / U(k), \\qquad k = 1, \\dots, l_i,
+
+and its overall contribution is the maximum over its valid levels,
+:math:`\\mathcal{C}_i = \\max_k \\mathcal{C}_i(k)`.  CA-TPA orders tasks by
+decreasing contribution, breaking ties first by higher criticality and
+then by lower task index (the paper's relational operator ``>-``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.taskset import MCTaskSet
+
+__all__ = [
+    "contribution_matrix",
+    "utilization_contributions",
+    "contribution_order",
+]
+
+
+def contribution_matrix(taskset: MCTaskSet) -> np.ndarray:
+    """``(N, K)`` array with ``C[i, k-1] = u_i(k) / U(k)`` (0 above ``l_i``).
+
+    Levels with ``U(k) == 0`` contribute 0 for every task (they can only
+    have ``u_i(k) == 0`` there as well).
+    """
+    umat = taskset.utilization_matrix
+    totals = taskset.total_utilization_vector()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        contrib = np.where(totals > 0.0, umat / totals, 0.0)
+    return contrib
+
+
+def utilization_contributions(taskset: MCTaskSet) -> np.ndarray:
+    """``(N,)`` vector of overall contributions ``C_i`` (Eq. (13))."""
+    return contribution_matrix(taskset).max(axis=1)
+
+
+def contribution_order(taskset: MCTaskSet) -> list[int]:
+    """Task indices sorted by the paper's ordering priority rules.
+
+    Descending contribution; ties broken by higher criticality level,
+    then by smaller task index.
+    """
+    contrib = utilization_contributions(taskset)
+    crit = taskset.criticalities
+    # np.lexsort sorts ascending by the *last* key first; negate the two
+    # descending keys.  The final ascending-index tie-break is implicit in
+    # lexsort's stability over the input order.
+    return np.lexsort((-crit, -contrib)).tolist()

@@ -1,0 +1,41 @@
+"""Per-core and whole-partition feasibility facade.
+
+This module bundles the tests the paper's schemes actually invoke:
+
+* :func:`is_feasible_core` — Eq. (4) as a fast path, then Theorem 1.
+  (Eq. (4) implies the ``k = 1`` condition of Theorem 1 — proven in the
+  test suite — so the fast path never changes the answer, only the cost.)
+* :func:`is_feasible_partition` — Propositions 1/2 lifted to a full
+  partition: every non-empty core must pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.edfvd import is_feasible_theorem1
+from repro.analysis.simple import is_feasible_simple
+from repro.model.partition import Partition
+
+__all__ = ["is_feasible_core", "is_feasible_partition", "infeasible_cores"]
+
+
+def is_feasible_core(level_matrix: np.ndarray) -> bool:
+    """EDF-VD feasibility of one core's subset (Eq. (4) or Theorem 1)."""
+    return is_feasible_simple(level_matrix) or is_feasible_theorem1(level_matrix)
+
+
+def is_feasible_partition(partition: Partition) -> bool:
+    """Proposition 2: every core's subset passes the per-core test."""
+    return not infeasible_cores(partition)
+
+
+def infeasible_cores(partition: Partition) -> list[int]:
+    """Indices of cores whose subsets fail the per-core test."""
+    bad = []
+    for m in range(partition.cores):
+        if partition.core_size(m) == 0:
+            continue
+        if not is_feasible_core(partition.level_matrix(m)):
+            bad.append(m)
+    return bad

@@ -1,0 +1,98 @@
+"""Global multiprocessor scheduling tests (substrate / related work).
+
+The paper motivates *partitioned* scheduling by contrast with *global*
+scheduling (Section I, citing Bastoni et al.'s empirical comparison and
+the global MC analyses of Li & Baruah and Pathan).  To make that
+comparison executable, this module provides:
+
+* :func:`gfb_edf_schedulable` — the classical Goossens–Funk–Baruah
+  density test for global EDF on ``m`` identical processors (sound for
+  constrained-deadline sporadic tasks):
+  ``sum_i delta_i <= m - (m - 1) * max_i delta_i``;
+* :func:`global_edfvd_admission` — a dual-criticality global EDF-VD
+  admission test in the spirit of Li & Baruah's ECRTS'12 analysis: scan
+  the virtual-deadline factor ``x`` and accept if the GFB density test
+  passes in both modes, with LO-mode HI densities ``u_i(1)/x`` and
+  HI-mode densities ``u_i(2)/(1-x)`` (the ``1-x`` floor covers the
+  carry-over job that crossed the switch with only ``(1-x) p_i`` of its
+  window left).
+
+``global_edfvd_admission`` is an *adaptation* (the exact published test
+differs in constants); it is deliberately conservative and is validated
+empirically — the test suite simulates every accepted set under
+adversarial scenarios on the global simulator and requires zero misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.taskset import MCTaskSet
+from repro.types import EPS, ModelError
+
+__all__ = ["gfb_edf_schedulable", "global_edfvd_admission", "GlobalAdmission"]
+
+from dataclasses import dataclass
+
+
+def gfb_edf_schedulable(densities, processors: int) -> bool:
+    """GFB density test for global EDF on ``processors`` identical CPUs."""
+    if processors < 1:
+        raise ModelError(f"processors must be >= 1, got {processors}")
+    dens = np.asarray(list(densities), dtype=np.float64)
+    if dens.size == 0:
+        return True
+    if (dens < 0).any():
+        raise ModelError("densities must be non-negative")
+    d_max = float(dens.max())
+    if d_max > 1.0 + EPS:
+        return False
+    return float(dens.sum()) <= processors - (processors - 1) * d_max + EPS
+
+
+@dataclass(frozen=True)
+class GlobalAdmission:
+    """Outcome of the global EDF-VD admission scan."""
+
+    schedulable: bool
+    x_factor: float | None  #: accepted virtual-deadline factor, if any
+
+
+def global_edfvd_admission(
+    taskset: MCTaskSet, processors: int, x_grid=None
+) -> GlobalAdmission:
+    """Dual-criticality global EDF-VD admission (GFB in both modes).
+
+    Scans ``x`` over ``x_grid`` (default 0.05..0.95 step 0.05, plus 1.0
+    meaning "no deadline scaling, plain global EDF on worst-case
+    budgets") and accepts the first ``x`` for which both mode tests
+    pass.
+    """
+    if taskset.levels != 2:
+        raise ModelError(
+            f"global EDF-VD admission supports K=2 only, got K={taskset.levels}"
+        )
+    lo = [t for t in taskset if t.criticality == 1]
+    hi = [t for t in taskset if t.criticality == 2]
+    if x_grid is None:
+        x_grid = [i / 20.0 for i in range(1, 20)] + [1.0]
+    for x in x_grid:
+        if not 0.0 < x <= 1.0:
+            raise ModelError(f"x factors must lie in (0, 1], got {x}")
+        if x == 1.0:
+            # No virtual deadlines: one GFB test on worst-case budgets.
+            densities = [t.utilization(1) for t in lo] + [
+                t.utilization(2) for t in hi
+            ]
+            if gfb_edf_schedulable(densities, processors):
+                return GlobalAdmission(schedulable=True, x_factor=1.0)
+            continue
+        lo_mode = [t.utilization(1) for t in lo] + [
+            t.utilization(1) / x for t in hi
+        ]
+        hi_mode = [t.utilization(2) / (1.0 - x) for t in hi]
+        if gfb_edf_schedulable(lo_mode, processors) and gfb_edf_schedulable(
+            hi_mode, processors
+        ):
+            return GlobalAdmission(schedulable=True, x_factor=float(x))
+    return GlobalAdmission(schedulable=False, x_factor=None)

@@ -1,0 +1,185 @@
+"""Fixed-priority AMC response-time analysis (substrate / related work).
+
+The paper's related-work line of partitioned *fixed-priority* MC
+scheduling (Baruah–Burns–Davis RTSS'11 "Response-time analysis for
+mixed criticality systems"; Kelly–Aydin–Zhao 2011 partitioned FP) needs
+the **AMC-rtb** test, implemented here for dual-criticality task sets:
+
+* LO-mode response time of every task ``i`` (priority order: lower
+  index = higher priority)::
+
+      R_i^LO = c_i(1) + sum_{j in hp(i)} ceil(R_i^LO / p_j) * c_j(1)
+
+  schedulable in LO mode iff ``R_i^LO <= p_i``.
+
+* HI-mode (post-switch) response time of every HI task, bounding LO
+  interference by the pre-switch window ``R_i^LO``::
+
+      R_i^HI = c_i(2) + sum_{j in hpH(i)} ceil(R_i^HI / p_j) * c_j(2)
+                      + sum_{j in hpL(i)} ceil(R_i^LO / p_j) * c_j(1)
+
+  schedulable iff ``R_i^HI <= p_i``.
+
+Priority assignment: deadline monotonic (a good heuristic here) and
+**Audsley's algorithm** (optimal for AMC-rtb): repeatedly find any task
+that is schedulable at the lowest unassigned priority level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.taskset import MCTaskSet
+from repro.types import EPS, ModelError
+
+__all__ = [
+    "response_time_lo",
+    "response_time_hi",
+    "amc_rtb_schedulable",
+    "deadline_monotonic_order",
+    "audsley_assignment",
+    "FPAssignment",
+]
+
+_MAX_ITER = 10_000
+
+
+def _check_dual(subset: MCTaskSet) -> None:
+    if subset.levels != 2:
+        raise ModelError(
+            f"AMC response-time analysis supports K=2 only, got K={subset.levels}"
+        )
+
+
+def _fixed_point(initial: float, bound: float, step) -> float | None:
+    """Iterate ``r -> step(r)`` from ``initial`` until fixed point or > bound."""
+    r = initial
+    for _ in range(_MAX_ITER):
+        nxt = step(r)
+        if nxt > bound + EPS:
+            return None
+        if nxt <= r + EPS:
+            return nxt
+        r = nxt
+    return None  # pragma: no cover - pathological non-convergence
+
+
+def response_time_lo(
+    subset: MCTaskSet, priorities: list[int], index: int
+) -> float | None:
+    """LO-mode response time of ``index`` under the given priority order.
+
+    ``priorities`` lists task indices from highest to lowest priority.
+    Returns ``None`` when the response time exceeds the deadline.
+    """
+    task = subset[index]
+    rank = priorities.index(index)
+    hp = priorities[:rank]
+
+    def step(r: float) -> float:
+        return task.wcet(1) + sum(
+            math.ceil(r / subset[j].period - EPS) * subset[j].wcet(1) for j in hp
+        )
+
+    return _fixed_point(task.wcet(1), task.period, step)
+
+
+def response_time_hi(
+    subset: MCTaskSet, priorities: list[int], index: int, r_lo: float
+) -> float | None:
+    """AMC-rtb HI-mode response time of HI task ``index``.
+
+    ``r_lo`` is the task's LO-mode response time (the pre-switch window
+    bounding LO-task interference).
+    """
+    task = subset[index]
+    if task.criticality < 2:
+        raise ModelError("HI-mode response time is defined for HI tasks only")
+    rank = priorities.index(index)
+    hp = priorities[:rank]
+    hp_hi = [j for j in hp if subset[j].criticality >= 2]
+    hp_lo = [j for j in hp if subset[j].criticality < 2]
+    lo_interference = sum(
+        math.ceil(r_lo / subset[j].period - EPS) * subset[j].wcet(1) for j in hp_lo
+    )
+
+    def step(r: float) -> float:
+        return (
+            task.wcet(2)
+            + lo_interference
+            + sum(
+                math.ceil(r / subset[j].period - EPS) * subset[j].wcet(2)
+                for j in hp_hi
+            )
+        )
+
+    return _fixed_point(task.wcet(2), task.period, step)
+
+
+def _task_schedulable_at(
+    subset: MCTaskSet, priorities: list[int], index: int
+) -> bool:
+    """Both AMC-rtb conditions for one task at its slot in ``priorities``."""
+    r_lo = response_time_lo(subset, priorities, index)
+    if r_lo is None:
+        return False
+    if subset[index].criticality >= 2:
+        return response_time_hi(subset, priorities, index, r_lo) is not None
+    return True
+
+
+def amc_rtb_schedulable(subset: MCTaskSet, priorities: list[int]) -> bool:
+    """Whole-subset AMC-rtb test under an explicit priority order."""
+    _check_dual(subset)
+    if sorted(priorities) != list(range(len(subset))):
+        raise ModelError("priorities must be a permutation of all task indices")
+    return all(
+        _task_schedulable_at(subset, priorities, i) for i in priorities
+    )
+
+
+def deadline_monotonic_order(subset: MCTaskSet) -> list[int]:
+    """Indices from highest to lowest priority by increasing period
+    (= relative deadline), ties by higher criticality then lower index."""
+    return sorted(
+        range(len(subset)),
+        key=lambda i: (subset[i].period, -subset[i].criticality, i),
+    )
+
+
+@dataclass(frozen=True)
+class FPAssignment:
+    """A feasible fixed-priority assignment (highest priority first)."""
+
+    priorities: tuple[int, ...]
+
+    def priority_of(self, index: int) -> int:
+        """0 = highest."""
+        return self.priorities.index(index)
+
+
+def audsley_assignment(subset: MCTaskSet) -> FPAssignment | None:
+    """Audsley's optimal priority assignment under AMC-rtb.
+
+    Builds the order bottom-up: at each (lowest remaining) priority
+    level, pick any task that is schedulable there given that all other
+    unassigned tasks sit above it.  Returns ``None`` iff no assignment
+    makes the subset AMC-rtb schedulable.
+    """
+    _check_dual(subset)
+    remaining = list(range(len(subset)))
+    bottom: list[int] = []  # lowest priorities, built back to front
+    while remaining:
+        placed = False
+        for candidate in remaining:
+            others = [i for i in remaining if i != candidate]
+            trial = others + [candidate] + bottom
+            if _task_schedulable_at(subset, trial, candidate):
+                bottom.insert(0, candidate)
+                remaining = others
+                placed = True
+                break
+        if not placed:
+            return None
+    return FPAssignment(priorities=tuple(bottom))

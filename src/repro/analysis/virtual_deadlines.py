@@ -1,0 +1,167 @@
+"""Virtual-deadline assignment for the EDF-VD run-time protocol.
+
+The paper (text after Theorem 1) parameterizes the run-time protocol by
+the smallest ``k*`` for which Ineq. (5) holds:
+
+* while the core operates at level ``l <= k* - 1``, jobs of tasks in
+  ``L_1 .. L_{l-1}`` are discarded, and every task ``tau_i`` in ``L_j``
+  with ``j >= l + 1`` uses the shrunk *virtual* relative deadline
+  ``p_i(l+1) = lambda_{l+1} * p_i(l)`` (with ``p_i(1) = p_i``), i.e. the
+  cumulative product ``p_i * prod_{x=2}^{l+1} lambda_x``;
+* from level ``k*`` on, jobs of tasks in ``L_1 .. L_{k*-1}`` are
+  cancelled, tasks in ``L_{k*} .. L_{K-1}`` get their original deadlines
+  back, and the deadlines of the top-criticality tasks ``L_K`` are "set
+  accordingly based on the values of the min term" of Ineq. (5):
+
+  - if the min term selects ``U_K(K)``, the ``L_K`` tasks also run with
+    their original deadlines (their full-budget demand fits as is);
+  - if it selects the ratio ``U_K(K-1) / (1 - U_K(K))``, the ``L_K``
+    tasks run with deadlines scaled by ``1 - U_K(K)``.  This is the
+    ESA'11 dual-criticality choice ``x = 1 - U_2(2)``: the scaled demand
+    of the ``L_K`` tasks under level-(K-1) budgets is then exactly the
+    ratio term, and at the top level the full-budget demand ``U_K(K) < 1``
+    fits with original deadlines restored by optimality of EDF.
+
+:class:`VirtualDeadlineAssignment` captures all of that in one immutable
+object consumed by the runtime simulator (:mod:`repro.sched`).  The
+protocol's correctness is exercised end-to-end by the simulator tests:
+subsets accepted by Theorem 1 must not miss deadlines of non-dropped
+jobs in simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.edfvd import (
+    capacity_terms,
+    demand_terms,
+    first_feasible_condition,
+    lambda_factors,
+)
+from repro.model.taskset import MCTaskSet
+from repro.types import EPS, ModelError
+
+__all__ = ["VirtualDeadlineAssignment", "assign_virtual_deadlines"]
+
+
+@dataclass(frozen=True)
+class VirtualDeadlineAssignment:
+    """Deadline-scaling plan for one core's task subset.
+
+    Attributes
+    ----------
+    k_star:
+        The protocol's pivot level ``k*`` (smallest feasible condition of
+        Ineq. (5); 1 when the subset needs no staged deadline shrinking
+        below the pivot).
+    lambdas:
+        ``(K,)`` reduction factors of Eq. (6); ``lambdas[0] == 0``;
+        entries beyond what the protocol needs may be ``nan``.
+    top_level_scale:
+        Deadline multiplier for ``L_K`` tasks at modes ``>= k*``; 1.0
+        when the min term of Ineq. (5) selected ``U_K(K)``, otherwise
+        ``1 - U_K(K)``.
+    levels:
+        ``K``.
+    """
+
+    k_star: int
+    lambdas: tuple[float, ...]
+    top_level_scale: float
+    levels: int
+
+    @property
+    def top_level_restores(self) -> bool:
+        """True when ``L_K`` tasks revert to full deadlines at level ``k*``."""
+        return self.top_level_scale == 1.0
+
+    def scale(self, task_level: int, mode: int) -> float:
+        """Relative-deadline multiplier for a task of criticality
+        ``task_level`` while the core operates at ``mode``.
+
+        Returns a positive scale in ``(0, 1]``.  Callers must not ask
+        about dropped tasks (``task_level < mode``).
+        """
+        if not 1 <= mode <= self.levels:
+            raise ModelError(f"mode must be in [1, {self.levels}], got {mode}")
+        if task_level < mode:
+            raise ModelError(
+                f"task of criticality {task_level} is dropped at mode {mode}"
+            )
+        if task_level > self.levels:
+            raise ModelError(
+                f"task criticality {task_level} exceeds system levels {self.levels}"
+            )
+        if mode < self.k_star:
+            if task_level == mode:
+                return 1.0
+            # cumulative shrink prod_{x=2}^{mode+1} lambda_x
+            return float(np.prod(self.lambdas[1 : mode + 1]))
+        # mode >= k*: deadlines restored, except possibly for L_K.
+        if task_level == self.levels:
+            return self.top_level_scale
+        return 1.0
+
+    def task_scale(self, task_index: int, task_level: int, mode: int) -> float:
+        """Per-task deadline-scale protocol used by the runtime simulator.
+
+        Theorem-1 plans scale by criticality level only, so this simply
+        delegates to :meth:`scale`; per-task plans (e.g. the DBF
+        extension's :class:`~repro.analysis.dbf.DualPerTaskPlan`)
+        override the same protocol with task-specific deadlines.
+        """
+        return self.scale(task_level, mode)
+
+
+def assign_virtual_deadlines(subset: MCTaskSet) -> VirtualDeadlineAssignment | None:
+    """Compute the deadline-scaling plan for a core's task subset.
+
+    Returns ``None`` when the subset fails Theorem 1 entirely (no
+    feasible condition ``k``); for ``K = 1`` the plain EDF utilization
+    bound is used instead.
+    """
+    mat = subset.level_matrix()
+    k_levels = subset.levels
+    if k_levels == 1:
+        # Plain EDF; feasible iff total utilization <= 1.
+        if float(mat[0, 0]) > 1.0 + EPS:
+            return None
+        return VirtualDeadlineAssignment(
+            k_star=1, lambdas=(0.0,), top_level_scale=1.0, levels=1
+        )
+    k_star = first_feasible_condition(mat)
+    if k_star is None:
+        return None
+    lambdas = lambda_factors(mat)
+    # Which branch did the min term take?  Feasibility guarantees
+    # U_K(K) < 1, so the ratio is well defined.
+    u_top_own = float(mat[-1, -1])
+    u_top_below = float(mat[-1, -2])
+    if u_top_own >= 1.0 - EPS:
+        # The ratio is meaningless here; demand_terms used U_K(K) itself,
+        # so treat it as the "own level" branch (restore).  Feasibility
+        # with U_K(K) ~ 1 forces every other utilization to ~0.
+        top_scale = 1.0
+    elif u_top_own <= u_top_below / (1.0 - u_top_own) + EPS:
+        top_scale = 1.0  # min term selected U_K(K): restore at k*
+    else:
+        top_scale = 1.0 - u_top_own
+    # The protocol needs lambda_2..lambda_{k*}; Theorem-1 feasibility at
+    # k* guarantees they are defined.
+    needed = lambdas[:k_star]
+    if np.isnan(needed).any():  # pragma: no cover - guarded by feasibility
+        raise ModelError("feasible condition references undefined lambda factors")
+    # Consistency: theta(k*) >= mu(k*) must hold (sanity against drift).
+    theta = capacity_terms(mat)[k_star - 1]
+    mu = demand_terms(mat)[k_star - 1]
+    if mu > theta + 1e-9:  # pragma: no cover - guarded by feasibility
+        raise ModelError("first_feasible_condition disagrees with theta/mu")
+    return VirtualDeadlineAssignment(
+        k_star=k_star,
+        lambdas=tuple(float(v) for v in lambdas),
+        top_level_scale=float(top_scale),
+        levels=k_levels,
+    )

@@ -1,0 +1,122 @@
+"""Command-line interface: regenerate any figure or table of the paper.
+
+Examples
+--------
+Regenerate Figure 1 with 1000 task sets per data point on 8 workers::
+
+    repro-mc fig1 --sets 1000 --jobs 8
+
+Print the worked example (Tables I-III)::
+
+    repro-mc tables
+
+Run everything the paper reports (this is the long one)::
+
+    repro-mc all --sets 2000 --jobs 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.report import (
+    format_allocation_trace,
+    format_sweep,
+    format_table1,
+)
+from repro.experiments.sweeps import FIGURES, run_sweep
+from repro.experiments.tables import allocation_trace, paper_example_taskset
+from repro.partition.catpa import CATPA
+from repro.partition.classical import FirstFitDecreasing
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mc",
+        description=(
+            "Criticality-aware partitioning for multicore mixed-criticality "
+            "systems: regenerate the paper's figures and tables."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*FIGURES.keys(), "tables", "all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--sets",
+        type=int,
+        default=500,
+        help="random task sets per data point (paper: 50000; default 500)",
+    )
+    parser.add_argument("--seed", type=int, default=2016, help="root RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; 0 = all CPU cores (default 1)",
+    )
+    parser.add_argument(
+        "--out",
+        type=argparse.FileType("w"),
+        default=sys.stdout,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each figure's data as <DIR>/<figure>.csv",
+    )
+    return parser
+
+
+def _render_tables() -> str:
+    ts = paper_example_taskset()
+    out = [format_table1(ts), ""]
+    ffd_steps = allocation_trace(FirstFitDecreasing(), ts, cores=2)
+    out.append(
+        format_allocation_trace("Table II: allocations under FFD", ts, ffd_steps)
+    )
+    out.append("")
+    ca_steps = allocation_trace(CATPA(), ts, cores=2)
+    out.append(
+        format_allocation_trace("Table III: allocations under CA-TPA", ts, ca_steps)
+    )
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    jobs = None if args.jobs == 0 else args.jobs
+    names = list(FIGURES) + ["tables"] if args.experiment == "all" else [args.experiment]
+
+    for name in names:
+        start = time.perf_counter()
+        if name == "tables":
+            text = _render_tables()
+        else:
+            result = run_sweep(
+                FIGURES[name](), sets=args.sets, seed=args.seed, jobs=jobs
+            )
+            text = format_sweep(result)
+            if args.csv is not None:
+                from pathlib import Path
+
+                from repro.experiments.export import save_sweep_csv
+
+                directory = Path(args.csv)
+                directory.mkdir(parents=True, exist_ok=True)
+                save_sweep_csv(result, directory / f"{name}.csv")
+        elapsed = time.perf_counter() - start
+        print(text, file=args.out)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

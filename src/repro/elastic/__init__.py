@@ -1,0 +1,30 @@
+"""Elastic mixed-criticality tasks (extension; cf. Su & Zhu, DATE'13).
+
+The paper's related work cites the *elastic* MC task model [31]: instead
+of dropping low-criticality work outright, LO tasks declare a range of
+acceptable periods and the system degrades their *rate* until the
+workload fits.  This package implements the period-elastic variant:
+
+* :class:`ElasticMCTask` — an MC task plus a maximum period
+  (``max_period >= period``); running at a longer period keeps the WCET
+  but lowers the utilization, i.e. delivers a lower service level;
+* :func:`stretch_taskset` — apply a uniform stretch factor to every
+  elastic task's period (clamped per task at ``max_period``);
+* :func:`elastic_admission` — find the smallest stretch (over a grid)
+  at which a given partitioning scheme accepts the workload, degrading
+  LO service only as much as necessary.
+
+This composes with everything else in the library: the stretched task
+set is an ordinary :class:`~repro.model.MCTaskSet`, so it can be
+analyzed, partitioned and simulated unchanged.
+"""
+
+from repro.elastic.model import ElasticMCTask, stretch_taskset
+from repro.elastic.admission import ElasticAdmission, elastic_admission
+
+__all__ = [
+    "ElasticAdmission",
+    "ElasticMCTask",
+    "elastic_admission",
+    "stretch_taskset",
+]

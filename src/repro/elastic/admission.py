@@ -1,0 +1,90 @@
+"""Elastic admission: degrade LO service until the workload fits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.elastic.model import ElasticMCTask, stretch_taskset
+from repro.model.taskset import MCTaskSet
+from repro.partition.base import Partitioner, PartitionResult
+from repro.types import ModelError
+
+__all__ = ["ElasticAdmission", "elastic_admission"]
+
+
+@dataclass(frozen=True)
+class ElasticAdmission:
+    """Outcome of an elastic admission attempt.
+
+    Attributes
+    ----------
+    admitted:
+        True iff some stretch within the tasks' limits was accepted.
+    factor:
+        The applied uniform stretch factor (1.0 = full service); the
+        per-task *effective* stretch may be smaller due to clamping.
+    taskset:
+        The stretched task set that was accepted (``None`` if rejected).
+    result:
+        The accepting :class:`PartitionResult` (``None`` if rejected).
+    service_levels:
+        Per-task delivered rate relative to desired, in ``(0, 1]``.
+    """
+
+    admitted: bool
+    factor: float
+    taskset: MCTaskSet | None
+    result: PartitionResult | None
+    service_levels: tuple[float, ...]
+
+    @property
+    def mean_service_level(self) -> float:
+        return float(np.mean(self.service_levels))
+
+
+def elastic_admission(
+    elastic_tasks: list[ElasticMCTask],
+    cores: int,
+    partitioner: Partitioner,
+    steps: int = 20,
+    levels: int | None = None,
+) -> ElasticAdmission:
+    """Smallest-degradation admission over a uniform stretch grid.
+
+    Scans ``steps + 1`` stretch factors from 1.0 (full service) to the
+    largest per-task limit, accepting the first factor at which
+    ``partitioner`` produces a feasible partition.  The scan is
+    ascending, so the returned admission degrades service no more than
+    the grid resolution requires.  (Partitioning heuristics are not
+    perfectly monotone in stretching, so a later grid point could in
+    principle fail where an earlier succeeded — the *first* success is
+    what we report, which is exactly the desired semantics.)
+    """
+    if steps < 1:
+        raise ModelError(f"steps must be >= 1, got {steps}")
+    max_factor = max(e.max_stretch for e in elastic_tasks)
+    factors = np.linspace(1.0, max_factor, steps + 1)
+    for factor in factors:
+        taskset = stretch_taskset(elastic_tasks, float(factor), levels=levels)
+        result = partitioner.partition(taskset, cores)
+        if result.schedulable:
+            return ElasticAdmission(
+                admitted=True,
+                factor=float(factor),
+                taskset=taskset,
+                result=result,
+                service_levels=tuple(
+                    e.service_level(float(factor)) for e in elastic_tasks
+                ),
+            )
+    return ElasticAdmission(
+        admitted=False,
+        factor=float(max_factor),
+        taskset=None,
+        result=None,
+        service_levels=tuple(
+            e.service_level(max_factor) for e in elastic_tasks
+        ),
+    )

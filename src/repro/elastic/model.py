@@ -1,0 +1,73 @@
+"""The period-elastic MC task model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.task import MCTask
+from repro.model.taskset import MCTaskSet
+from repro.types import ModelError
+
+__all__ = ["ElasticMCTask", "stretch_taskset"]
+
+
+@dataclass(frozen=True)
+class ElasticMCTask:
+    """An MC task whose period may be stretched up to ``max_period``.
+
+    ``task.period`` is the *desired* period (full service);
+    ``max_period`` is the longest acceptable one (minimum service).
+    Non-elastic tasks simply use ``max_period == period``.  Elasticity
+    is typically given to low-criticality tasks only, but the model does
+    not enforce that — high-criticality rate adaptation is a legitimate
+    (if unusual) configuration.
+    """
+
+    task: MCTask
+    max_period: float
+
+    def __post_init__(self) -> None:
+        if self.max_period < self.task.period:
+            raise ModelError(
+                f"max_period {self.max_period} is below the desired period"
+                f" {self.task.period}"
+            )
+
+    @property
+    def max_stretch(self) -> float:
+        """The largest admissible stretch factor for this task."""
+        return self.max_period / self.task.period
+
+    def stretched(self, factor: float) -> MCTask:
+        """The task running at ``min(factor, max_stretch) * period``.
+
+        WCETs are unchanged; utilization scales down by the applied
+        stretch.
+        """
+        if factor < 1.0:
+            raise ModelError(f"stretch factor must be >= 1, got {factor}")
+        applied = min(factor, self.max_stretch)
+        if applied == 1.0:
+            return self.task
+        return MCTask(
+            wcets=self.task.wcets,
+            period=self.task.period * applied,
+            name=self.task.name,
+        )
+
+    def service_level(self, factor: float) -> float:
+        """Delivered rate relative to the desired rate, in ``(0, 1]``."""
+        return 1.0 / min(max(factor, 1.0), self.max_stretch)
+
+
+def stretch_taskset(
+    elastic_tasks: list[ElasticMCTask], factor: float, levels: int | None = None
+) -> MCTaskSet:
+    """An ordinary task set with every task stretched by ``factor``.
+
+    Per-task clamping applies, so inelastic tasks (``max_period ==
+    period``) are untouched.
+    """
+    if not elastic_tasks:
+        raise ModelError("at least one task is required")
+    return MCTaskSet([e.stretched(factor) for e in elastic_tasks], levels=levels)

@@ -1,0 +1,60 @@
+"""Experiment harness: figure sweeps, worked-example tables, reporting."""
+
+from repro.experiments.compare import HeadToHead, format_head_to_head, head_to_head
+from repro.experiments.export import save_sweep_csv, sweep_to_csv
+from repro.experiments.weighted import weighted_schedulability
+from repro.experiments.report import (
+    format_allocation_trace,
+    format_panel,
+    format_sweep,
+    format_table1,
+)
+from repro.experiments.runner import SchemeSpec, default_schemes, evaluate_point
+from repro.experiments.sweeps import (
+    FIGURES,
+    SweepDefinition,
+    SweepResult,
+    figure1_nsu,
+    figure2_ifc,
+    figure3_alpha,
+    figure4_cores,
+    figure5_levels,
+    run_sweep,
+)
+from repro.experiments.tables import (
+    AllocationStep,
+    allocation_trace,
+    paper_example_taskset,
+    search_paper_example,
+    table1_rows,
+)
+
+__all__ = [
+    "AllocationStep",
+    "FIGURES",
+    "HeadToHead",
+    "format_head_to_head",
+    "head_to_head",
+    "SchemeSpec",
+    "SweepDefinition",
+    "SweepResult",
+    "allocation_trace",
+    "default_schemes",
+    "evaluate_point",
+    "figure1_nsu",
+    "figure2_ifc",
+    "figure3_alpha",
+    "figure4_cores",
+    "figure5_levels",
+    "format_allocation_trace",
+    "format_panel",
+    "format_sweep",
+    "format_table1",
+    "paper_example_taskset",
+    "run_sweep",
+    "save_sweep_csv",
+    "sweep_to_csv",
+    "search_paper_example",
+    "table1_rows",
+    "weighted_schedulability",
+]

@@ -1,0 +1,90 @@
+"""Head-to-head scheme comparison on a common workload batch.
+
+Aggregate acceptance ratios hide *which* task sets a scheme wins on.
+This module runs every scheme on the same batch and reports the pairwise
+dominance matrix: ``wins[a][b]`` counts the task sets that scheme ``a``
+schedules and scheme ``b`` does not.  A scheme that strictly dominates
+another has a zero in the mirrored cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import SchemeSpec
+from repro.gen.generator import generate_taskset
+from repro.gen.params import WorkloadConfig
+from repro.types import ReproError
+
+__all__ = ["HeadToHead", "head_to_head", "format_head_to_head"]
+
+
+@dataclass(frozen=True)
+class HeadToHead:
+    """Pairwise dominance over one batch."""
+
+    labels: tuple[str, ...]
+    accepted: dict[str, int]  #: per-scheme acceptance counts
+    wins: dict[str, dict[str, int]]  #: wins[a][b] = a-yes & b-no counts
+    sets: int
+
+    def ratio(self, label: str) -> float:
+        return self.accepted[label] / self.sets
+
+
+def head_to_head(
+    config: WorkloadConfig,
+    schemes: list[SchemeSpec],
+    sets: int = 200,
+    seed: int = 2016,
+) -> HeadToHead:
+    """Run every scheme on the same ``sets`` task sets and tally wins."""
+    if sets < 1:
+        raise ReproError(f"sets must be >= 1, got {sets}")
+    labels = [s.label for s in schemes]
+    if len(set(labels)) != len(labels):
+        raise ReproError(f"duplicate scheme labels: {labels}")
+    partitioners = [(s.label, s.build()) for s in schemes]
+    accepted = {label: 0 for label in labels}
+    wins = {a: {b: 0 for b in labels if b != a} for a in labels}
+    for i in range(sets):
+        rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
+        taskset = generate_taskset(config, rng)
+        outcome = {
+            label: p.partition(taskset, config.cores).schedulable
+            for label, p in partitioners
+        }
+        for a in labels:
+            accepted[a] += outcome[a]
+            for b in labels:
+                if a != b and outcome[a] and not outcome[b]:
+                    wins[a][b] += 1
+    return HeadToHead(
+        labels=tuple(labels), accepted=accepted, wins=wins, sets=sets
+    )
+
+
+def format_head_to_head(result: HeadToHead) -> str:
+    """The dominance matrix as an aligned text table."""
+    labels = result.labels
+    width = max(8, max(len(s) for s in labels) + 1)
+    header = (
+        f"{'wins over ->':>{width}} |"
+        + "".join(f"{s:>{width}}" for s in labels)
+        + f"{'ratio':>{width}}"
+    )
+    lines = [
+        f"Head-to-head on {result.sets} common task sets"
+        " (cell = row schedules, column does not)",
+        header,
+        "-" * len(header),
+    ]
+    for a in labels:
+        cells = "".join(
+            f"{'-':>{width}}" if a == b else f"{result.wins[a][b]:>{width}}"
+            for b in labels
+        )
+        lines.append(f"{a:>{width}} |{cells}{result.ratio(a):>{width}.3f}")
+    return "\n".join(lines)

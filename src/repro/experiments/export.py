@@ -1,0 +1,49 @@
+"""CSV export for sweep results.
+
+Each figure's data exports as a tidy long-format CSV — one row per
+(swept value, scheme, metric) — the layout plotting tools and notebooks
+consume without reshaping.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.experiments.sweeps import SweepResult
+
+__all__ = ["sweep_to_csv", "save_sweep_csv"]
+
+_METRICS = ("sched_ratio", "u_sys", "u_avg", "imbalance")
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """The sweep as a long-format CSV string."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        ["figure", "parameter", "value", "scheme", "metric", "result",
+         "sets_per_point", "seed"]
+    )
+    d = result.definition
+    for i, value in enumerate(d.values):
+        for scheme, stats in result.rows[i].items():
+            for metric in _METRICS:
+                writer.writerow(
+                    [
+                        d.figure,
+                        d.parameter,
+                        value,
+                        scheme,
+                        metric,
+                        getattr(stats, metric),
+                        result.sets_per_point,
+                        result.seed,
+                    ]
+                )
+    return buf.getvalue()
+
+
+def save_sweep_csv(result: SweepResult, path: str | Path) -> None:
+    Path(path).write_text(sweep_to_csv(result))

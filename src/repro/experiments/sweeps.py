@@ -1,0 +1,168 @@
+"""Sweep definitions for Figures 1-5 of the paper.
+
+Each figure sweeps one parameter around the Section IV-A defaults
+(``M = 8``, ``K = 4``, ``NSU = 0.6``, ``alpha = 0.7``, ``IFC = 0.4``)
+and reports four panels per swept value: (a) schedulability ratio,
+(b) system utilization ``U_sys``, (c) average core utilization
+``U_avg``, and (d) workload imbalance ``Lambda`` — panels (b)-(d) over
+schedulable sets only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.experiments.runner import (
+    SchemeSpec,
+    default_schemes,
+    evaluate_point,
+)
+from repro.gen.params import CORE_COUNTS, WorkloadConfig
+from repro.metrics.aggregate import SchemeStats
+
+__all__ = [
+    "SweepDefinition",
+    "SweepResult",
+    "figure1_nsu",
+    "figure2_ifc",
+    "figure3_alpha",
+    "figure4_cores",
+    "figure5_levels",
+    "FIGURES",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepDefinition:
+    """One figure: a parameter name, its values, and the point builder."""
+
+    figure: str  #: e.g. "fig1"
+    title: str
+    parameter: str  #: axis label, e.g. "NSU"
+    values: tuple
+    #: maps a swept value to the (config, schemes) of that data point
+    point: Callable[[object], tuple[WorkloadConfig, list[SchemeSpec]]]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All data points of one figure."""
+
+    definition: SweepDefinition
+    sets_per_point: int
+    seed: int
+    #: rows[i] corresponds to definition.values[i]
+    rows: tuple[dict[str, SchemeStats], ...]
+
+    @property
+    def schemes(self) -> list[str]:
+        return list(self.rows[0].keys()) if self.rows else []
+
+    def series(self, metric: str) -> dict[str, list[float]]:
+        """Per-scheme series of ``metric`` across the swept values.
+
+        ``metric`` is one of ``sched_ratio``, ``u_sys``, ``u_avg``,
+        ``imbalance``.
+        """
+        return {
+            scheme: [getattr(row[scheme], metric) for row in self.rows]
+            for scheme in self.schemes
+        }
+
+
+def figure1_nsu(
+    nsu_values: Sequence[float] = (0.4, 0.5, 0.6, 0.7, 0.8),
+) -> SweepDefinition:
+    """Figure 1: impact of the normalized system utilization."""
+    return SweepDefinition(
+        figure="fig1",
+        title="Performance of the algorithms with varying NSU",
+        parameter="NSU",
+        values=tuple(nsu_values),
+        point=lambda v: (WorkloadConfig(nsu=float(v)), default_schemes()),
+    )
+
+
+def figure2_ifc(
+    ifc_values: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7),
+) -> SweepDefinition:
+    """Figure 2: impact of the WCET increment factor."""
+    return SweepDefinition(
+        figure="fig2",
+        title="Performance of the algorithms with varying IFC",
+        parameter="IFC",
+        values=tuple(ifc_values),
+        point=lambda v: (WorkloadConfig(ifc=float(v)), default_schemes()),
+    )
+
+
+def figure3_alpha(
+    alpha_values: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+) -> SweepDefinition:
+    """Figure 3: impact of the imbalance threshold (CA-TPA only knob)."""
+    return SweepDefinition(
+        figure="fig3",
+        title="Performance of the algorithms with varying alpha",
+        parameter="alpha",
+        values=tuple(alpha_values),
+        point=lambda v: (WorkloadConfig(), default_schemes(alpha=float(v))),
+    )
+
+
+def figure4_cores(
+    core_values: Sequence[int] = CORE_COUNTS,
+) -> SweepDefinition:
+    """Figure 4: impact of the number of processor cores."""
+    return SweepDefinition(
+        figure="fig4",
+        title="Performance of the algorithms with varying M",
+        parameter="M",
+        values=tuple(core_values),
+        point=lambda v: (WorkloadConfig(cores=int(v)), default_schemes()),
+    )
+
+
+def figure5_levels(
+    level_values: Sequence[int] = (2, 3, 4, 5, 6),
+) -> SweepDefinition:
+    """Figure 5: impact of the number of criticality levels."""
+    return SweepDefinition(
+        figure="fig5",
+        title="Performance of the algorithms with varying K",
+        parameter="K",
+        values=tuple(level_values),
+        point=lambda v: (WorkloadConfig(levels=int(v)), default_schemes()),
+    )
+
+
+#: Figure id -> zero-argument definition factory.
+FIGURES: dict[str, Callable[[], SweepDefinition]] = {
+    "fig1": figure1_nsu,
+    "fig2": figure2_ifc,
+    "fig3": figure3_alpha,
+    "fig4": figure4_cores,
+    "fig5": figure5_levels,
+}
+
+
+def run_sweep(
+    definition: SweepDefinition,
+    sets: int = 200,
+    seed: int = 2016,
+    jobs: int | None = 1,
+) -> SweepResult:
+    """Evaluate every data point of a figure definition."""
+    rows = []
+    for value in definition.values:
+        config, schemes = definition.point(value)
+        rows.append(
+            evaluate_point(config, schemes=schemes, sets=sets, seed=seed, jobs=jobs)
+        )
+    return SweepResult(
+        definition=definition,
+        sets_per_point=sets,
+        seed=seed,
+        rows=tuple(rows),
+    )

@@ -1,0 +1,161 @@
+"""Reproduction of the paper's worked example (Tables I-III).
+
+Tables I-III of Section III-C demonstrate, on a 5-task / 2-core
+dual-criticality instance, that FFD fails to place the last task while
+CA-TPA places all five.  The OCR of the paper lost the concrete numbers
+of Table I (DESIGN.md "Substitutions"); what *is* recoverable from the
+worked arithmetic is used as a cross-check elsewhere
+(``tests/analysis/test_edfvd.py::test_paper_worked_value_tau4``), and
+here we regenerate an equivalent instance by deterministic seeded
+search: the first random 5-task instance on which FFD fails and CA-TPA
+succeeds, exhibiting exactly the phenomenon the tables illustrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.contribution import (
+    contribution_matrix,
+    utilization_contributions,
+)
+from repro.gen.params import WorkloadConfig
+from repro.gen.generator import generate_taskset
+from repro.model.partition import Partition
+from repro.model.taskset import MCTaskSet
+from repro.partition.base import Partitioner
+from repro.partition.catpa import CATPA
+from repro.partition.classical import FirstFitDecreasing
+from repro.types import ReproError
+
+__all__ = [
+    "paper_example_taskset",
+    "search_paper_example",
+    "AllocationStep",
+    "allocation_trace",
+    "table1_rows",
+]
+
+_SEARCH_SEED = 2016
+_SEARCH_LIMIT = 20000
+#: Spawn key of the first instance the seeded search accepts; pinned so
+#: the canonical example regenerates in O(1).  ``search_paper_example``
+#: re-derives it (the test suite checks they agree).
+_EXAMPLE_SPAWN_KEY = 10486
+
+
+def _example_config() -> WorkloadConfig:
+    return WorkloadConfig(
+        cores=2,
+        levels=2,
+        nsu=0.72,
+        ifc=0.6,
+        task_count_range=(5, 5),
+        period_ranges=((50, 200),),
+    )
+
+
+def _example_accepted(ts: MCTaskSet) -> bool:
+    """The Tables I-III phenomenon: >=2 HI tasks, FFD fails, CA-TPA wins."""
+    if int((ts.criticalities == 2).sum()) < 2:
+        return False  # the paper's instance mixes several HI tasks
+    return (
+        not FirstFitDecreasing().partition(ts, 2).schedulable
+        and CATPA().partition(ts, 2).schedulable
+    )
+
+
+@lru_cache(maxsize=1)
+def paper_example_taskset() -> MCTaskSet:
+    """The canonical 5-task / 2-core / K=2 instance where FFD fails and
+    CA-TPA succeeds (the Tables I-III phenomenon), regenerated from its
+    pinned seed."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence(_SEARCH_SEED, spawn_key=(_EXAMPLE_SPAWN_KEY,))
+    )
+    ts = generate_taskset(_example_config(), rng)
+    if not _example_accepted(ts):  # pragma: no cover - pinned seed
+        raise ReproError("pinned example seed no longer reproduces the instance")
+    return ts
+
+
+def search_paper_example(limit: int = _SEARCH_LIMIT) -> tuple[int, MCTaskSet]:
+    """Deterministic seeded search for the example instance.
+
+    Returns ``(spawn_key, taskset)`` of the first accepted instance;
+    exists so the pinned :data:`_EXAMPLE_SPAWN_KEY` is auditable.
+    """
+    config = _example_config()
+    for i in range(limit):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(_SEARCH_SEED, spawn_key=(i,))
+        )
+        ts = generate_taskset(config, rng)
+        if _example_accepted(ts):
+            return i, ts
+    raise ReproError(
+        f"no Tables I-III instance within {limit} seeds; parameters drifted"
+    )
+
+
+@dataclass(frozen=True)
+class AllocationStep:
+    """One row of an allocation trace (Tables II/III format)."""
+
+    task_index: int
+    core: int | None  #: None when the scheme failed to place the task
+    #: per-core (K, K) level matrices *after* this step
+    core_levels: tuple
+
+
+def allocation_trace(
+    partitioner: Partitioner, taskset: MCTaskSet, cores: int
+) -> list[AllocationStep]:
+    """Replay a heuristic task by task, recording each intermediate state.
+
+    This is exactly what Tables II and III tabulate: the task-to-core
+    decisions in processing order with the evolving per-core level
+    utilizations.
+    """
+    partition = Partition(taskset, cores)
+    state: dict = {}
+    steps: list[AllocationStep] = []
+    for task_index in partitioner.order_tasks(taskset):
+        target = partitioner.select_core(task_index, partition, state)
+        if target is not None:
+            partition.assign(task_index, target)
+        steps.append(
+            AllocationStep(
+                task_index=task_index,
+                core=target,
+                core_levels=tuple(
+                    partition.level_matrix(m).copy() for m in range(cores)
+                ),
+            )
+        )
+        if target is None:
+            break
+    return steps
+
+
+def table1_rows(taskset: MCTaskSet) -> list[dict]:
+    """Table I: per-task parameters, utilizations, and contributions."""
+    contrib = contribution_matrix(taskset)
+    overall = utilization_contributions(taskset)
+    rows = []
+    for i, task in enumerate(taskset):
+        rows.append(
+            {
+                "task": task.name or f"tau_{i + 1}",
+                "wcets": task.wcets,
+                "period": task.period,
+                "criticality": task.criticality,
+                "utilizations": task.utilization_vector(taskset.levels),
+                "contributions": tuple(contrib[i, : task.criticality]),
+                "contribution": float(overall[i]),
+            }
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""Weighted schedulability — a single-number summary per scheme.
+
+The standard real-time-community aggregate (Bastoni et al.): for a sweep
+over a load parameter ``U`` (here NSU) with per-point acceptance ratios
+``A(U)``,
+
+.. math::
+
+    W = \\frac{\\sum_U U \\cdot A(U)}{\\sum_U U},
+
+which rewards schemes that keep accepting at *high* load.  Useful to
+rank schemes across a whole figure instead of eyeballing curves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweeps import SweepResult
+from repro.types import ReproError
+
+__all__ = ["weighted_schedulability"]
+
+
+def weighted_schedulability(result: SweepResult) -> dict[str, float]:
+    """Per-scheme weighted schedulability over the sweep's values.
+
+    The swept values must be numeric and positive (they act as the
+    weights); a sweep over e.g. NSU or IFC qualifies, a sweep over
+    scheme-internal knobs like alpha is meaningless here and also works
+    mechanically but should be interpreted with care.
+    """
+    try:
+        weights = [float(v) for v in result.definition.values]
+    except (TypeError, ValueError) as exc:
+        raise ReproError("weighted schedulability needs numeric sweep values") from exc
+    if any(w <= 0 for w in weights):
+        raise ReproError("weighted schedulability needs positive sweep values")
+    total = sum(weights)
+    ratios = result.series("sched_ratio")
+    return {
+        scheme: sum(w * r for w, r in zip(weights, series)) / total
+        for scheme, series in ratios.items()
+    }

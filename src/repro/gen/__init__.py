@@ -1,0 +1,30 @@
+"""Synthetic mixed-criticality workload generation."""
+
+from repro.gen.generator import generate_batch, generate_taskset
+from repro.gen.params import (
+    ALPHA_RANGE,
+    CORE_COUNTS,
+    IFC_RANGE,
+    LEVEL_RANGE,
+    NSU_RANGE,
+    PERIOD_RANGES,
+    TASK_COUNT_RANGE,
+    WorkloadConfig,
+)
+from repro.gen.uunifast import uunifast, uunifast_discard, uunifast_mc_taskset
+
+__all__ = [
+    "ALPHA_RANGE",
+    "CORE_COUNTS",
+    "IFC_RANGE",
+    "LEVEL_RANGE",
+    "NSU_RANGE",
+    "PERIOD_RANGES",
+    "TASK_COUNT_RANGE",
+    "WorkloadConfig",
+    "generate_batch",
+    "generate_taskset",
+    "uunifast",
+    "uunifast_discard",
+    "uunifast_mc_taskset",
+]

@@ -1,0 +1,20 @@
+"""Partition-quality metrics and batch aggregation."""
+
+from repro.metrics.aggregate import SchemeAccumulator, SchemeStats
+from repro.metrics.core import (
+    average_core_utilization,
+    core_utilizations,
+    imbalance_factor,
+    partition_metrics,
+    system_utilization,
+)
+
+__all__ = [
+    "SchemeAccumulator",
+    "SchemeStats",
+    "average_core_utilization",
+    "core_utilizations",
+    "imbalance_factor",
+    "partition_metrics",
+    "system_utilization",
+]

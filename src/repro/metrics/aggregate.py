@@ -1,0 +1,96 @@
+"""Aggregation of per-task-set outcomes into per-scheme statistics.
+
+One :class:`SchemeAccumulator` per (scheme, data point).  Feed it each
+task set's :class:`~repro.partition.PartitionResult`; it maintains the
+schedulability count and the running sums of ``U_sys`` / ``U_avg`` /
+``Lambda`` over the *schedulable* sets (matching the paper: "these
+metrics are obtained by considering only the schedulable task sets").
+
+Accumulators are picklable and mergeable, so the parallel harness can
+reduce per-worker partial results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.metrics.core import (
+    average_core_utilization,
+    imbalance_factor,
+    system_utilization,
+)
+from repro.partition.base import PartitionResult
+from repro.types import ModelError
+
+__all__ = ["SchemeAccumulator", "SchemeStats"]
+
+
+@dataclass(frozen=True)
+class SchemeStats:
+    """Final per-scheme figures for one data point."""
+
+    scheme: str
+    total_sets: int
+    schedulable_sets: int
+    sched_ratio: float
+    u_sys: float  #: mean U_sys over schedulable sets (nan if none)
+    u_avg: float  #: mean U_avg over schedulable sets (nan if none)
+    imbalance: float  #: mean Lambda over schedulable sets (nan if none)
+
+
+@dataclass
+class SchemeAccumulator:
+    """Running sums for one scheme at one data point."""
+
+    scheme: str
+    total_sets: int = 0
+    schedulable_sets: int = 0
+    sum_u_sys: float = 0.0
+    sum_u_avg: float = 0.0
+    sum_imbalance: float = 0.0
+
+    def add(self, result: PartitionResult, *, check_scheme: bool = True) -> None:
+        """Record one task set's outcome.
+
+        ``check_scheme=False`` skips the name guard — used when the
+        accumulator is keyed by a *label* that differs from the
+        partitioner's registry name (e.g. ``ca-tpa`` alpha variants).
+        """
+        if check_scheme and result.scheme != self.scheme:
+            raise ModelError(
+                f"accumulator for {self.scheme!r} got result for {result.scheme!r}"
+            )
+        self.total_sets += 1
+        if not result.schedulable:
+            return
+        self.schedulable_sets += 1
+        utils = result.core_utilizations()
+        self.sum_u_sys += system_utilization(utils)
+        self.sum_u_avg += average_core_utilization(utils)
+        self.sum_imbalance += imbalance_factor(utils)
+
+    def merge(self, other: "SchemeAccumulator") -> None:
+        """Fold another worker's partial sums into this one."""
+        if other.scheme != self.scheme:
+            raise ModelError(
+                f"cannot merge accumulator for {other.scheme!r} into {self.scheme!r}"
+            )
+        self.total_sets += other.total_sets
+        self.schedulable_sets += other.schedulable_sets
+        self.sum_u_sys += other.sum_u_sys
+        self.sum_u_avg += other.sum_u_avg
+        self.sum_imbalance += other.sum_imbalance
+
+    def finalize(self) -> SchemeStats:
+        """Close the books: means over schedulable sets, ratio over all."""
+        n_ok = self.schedulable_sets
+        return SchemeStats(
+            scheme=self.scheme,
+            total_sets=self.total_sets,
+            schedulable_sets=n_ok,
+            sched_ratio=(n_ok / self.total_sets) if self.total_sets else float("nan"),
+            u_sys=(self.sum_u_sys / n_ok) if n_ok else float("nan"),
+            u_avg=(self.sum_u_avg / n_ok) if n_ok else float("nan"),
+            imbalance=(self.sum_imbalance / n_ok) if n_ok else float("nan"),
+        )

@@ -1,0 +1,76 @@
+"""Partition-quality metrics (Eqs. (9)-(11), (16) of the paper).
+
+All four evaluation metrics of Section IV-A:
+
+* **schedulability ratio** — fraction of task sets a scheme places
+  feasibly (computed by the aggregation layer);
+* **system utilization** ``U_sys = max_m U^{Psi_m}`` (Eq. (10));
+* **average core utilization** ``U_avg = (1/M) sum_m U^{Psi_m}``
+  (Eq. (11));
+* **workload imbalance factor**
+  ``Lambda = (U_sys - min_m U^{Psi_m}) / U_sys`` (Eq. (16)).
+
+The paper evaluates the last three over *schedulable* task sets only;
+the aggregation layer enforces that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.edfvd import core_utilization
+from repro.model.partition import Partition
+from repro.types import EPS, ModelError
+
+__all__ = [
+    "core_utilizations",
+    "system_utilization",
+    "average_core_utilization",
+    "imbalance_factor",
+    "partition_metrics",
+]
+
+
+def core_utilizations(partition: Partition) -> np.ndarray:
+    """Per-core Eq.-(9) utilizations; empty cores are 0."""
+    return np.array(
+        [core_utilization(partition.level_matrix(m)) for m in range(partition.cores)]
+    )
+
+
+def system_utilization(utils: np.ndarray) -> float:
+    """``U_sys`` (Eq. (10)): the maximum core utilization."""
+    return float(np.max(utils))
+
+
+def average_core_utilization(utils: np.ndarray) -> float:
+    """``U_avg`` (Eq. (11)): the mean core utilization."""
+    return float(np.mean(utils))
+
+
+def imbalance_factor(utils: np.ndarray) -> float:
+    """``Lambda`` (Eq. (16)); 0 for a fully idle system."""
+    u_sys = float(np.max(utils))
+    if u_sys <= EPS:
+        return 0.0
+    return (u_sys - float(np.min(utils))) / u_sys
+
+
+def partition_metrics(partition: Partition, utils: np.ndarray | None = None) -> dict:
+    """All three partition-quality figures in one dict.
+
+    ``utils`` may be passed when the caller already has the per-core
+    utilizations (e.g. from a :class:`PartitionResult`).
+    """
+    if utils is None:
+        utils = core_utilizations(partition)
+    utils = np.asarray(utils, dtype=np.float64)
+    if utils.ndim != 1 or utils.size != partition.cores:
+        raise ModelError(
+            f"utils must be a ({partition.cores},) vector, got shape {utils.shape}"
+        )
+    return {
+        "u_sys": system_utilization(utils),
+        "u_avg": average_core_utilization(utils),
+        "imbalance": imbalance_factor(utils),
+    }

@@ -1,0 +1,29 @@
+"""Mixed-criticality task model: tasks, task sets, and partitions."""
+
+from repro.model.task import MCTask
+from repro.model.taskset import MCTaskSet
+from repro.model.partition import Partition
+from repro.model.io import (
+    load_partition,
+    load_taskset,
+    partition_from_dict,
+    partition_to_dict,
+    save_partition,
+    save_taskset,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+
+__all__ = [
+    "MCTask",
+    "MCTaskSet",
+    "Partition",
+    "load_partition",
+    "load_taskset",
+    "partition_from_dict",
+    "partition_to_dict",
+    "save_partition",
+    "save_taskset",
+    "taskset_from_dict",
+    "taskset_to_dict",
+]

@@ -1,0 +1,126 @@
+"""JSON (de)serialization for task sets and partitions.
+
+A stable on-disk format so workload corpora and partitioning decisions
+can be shared between runs, tools and languages:
+
+.. code-block:: json
+
+    {
+      "format": "repro-mc-taskset",
+      "version": 1,
+      "levels": 2,
+      "tasks": [
+        {"name": "flight_control", "period": 20.0, "wcets": [2.0, 5.0]},
+        {"name": "telemetry", "period": 25.0, "wcets": [4.0]}
+      ]
+    }
+
+Partitions serialize as the task set plus the core count and the
+task->core assignment vector.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.model.partition import Partition
+from repro.model.task import MCTask
+from repro.model.taskset import MCTaskSet
+from repro.types import ModelError
+
+__all__ = [
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "save_taskset",
+    "load_taskset",
+    "partition_to_dict",
+    "partition_from_dict",
+    "save_partition",
+    "load_partition",
+]
+
+_TASKSET_FORMAT = "repro-mc-taskset"
+_PARTITION_FORMAT = "repro-mc-partition"
+_VERSION = 1
+
+
+def taskset_to_dict(taskset: MCTaskSet) -> dict[str, Any]:
+    """A JSON-ready dict describing ``taskset``."""
+    return {
+        "format": _TASKSET_FORMAT,
+        "version": _VERSION,
+        "levels": taskset.levels,
+        "tasks": [
+            {"name": t.name, "period": t.period, "wcets": list(t.wcets)}
+            for t in taskset
+        ],
+    }
+
+
+def taskset_from_dict(data: dict[str, Any]) -> MCTaskSet:
+    """Inverse of :func:`taskset_to_dict` (validates format/version)."""
+    if data.get("format") != _TASKSET_FORMAT:
+        raise ModelError(
+            f"not a {_TASKSET_FORMAT} document: format={data.get('format')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise ModelError(f"unsupported version {data.get('version')!r}")
+    try:
+        tasks = [
+            MCTask(
+                wcets=tuple(entry["wcets"]),
+                period=entry["period"],
+                name=entry.get("name", ""),
+            )
+            for entry in data["tasks"]
+        ]
+        levels = data["levels"]
+    except (KeyError, TypeError) as exc:
+        raise ModelError(f"malformed task set document: {exc}") from exc
+    return MCTaskSet(tasks, levels=levels)
+
+
+def save_taskset(taskset: MCTaskSet, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(taskset_to_dict(taskset), indent=2) + "\n")
+
+
+def load_taskset(path: str | Path) -> MCTaskSet:
+    return taskset_from_dict(json.loads(Path(path).read_text()))
+
+
+def partition_to_dict(partition: Partition) -> dict[str, Any]:
+    """A JSON-ready dict describing ``partition`` (with its task set)."""
+    return {
+        "format": _PARTITION_FORMAT,
+        "version": _VERSION,
+        "cores": partition.cores,
+        "assignment": partition.assignment.tolist(),
+        "taskset": taskset_to_dict(partition.taskset),
+    }
+
+
+def partition_from_dict(data: dict[str, Any]) -> Partition:
+    """Inverse of :func:`partition_to_dict`."""
+    if data.get("format") != _PARTITION_FORMAT:
+        raise ModelError(
+            f"not a {_PARTITION_FORMAT} document: format={data.get('format')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise ModelError(f"unsupported version {data.get('version')!r}")
+    taskset = taskset_from_dict(data["taskset"])
+    try:
+        return Partition.from_assignment(
+            taskset, int(data["cores"]), data["assignment"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise ModelError(f"malformed partition document: {exc}") from exc
+
+
+def save_partition(partition: Partition, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(partition_to_dict(partition), indent=2) + "\n")
+
+
+def load_partition(path: str | Path) -> Partition:
+    return partition_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,154 @@
+"""Task-to-core partitions.
+
+A partition :math:`\\Gamma = \\{\\Psi_1, \\dots, \\Psi_M\\}` assigns every
+task of a task set to exactly one of ``M`` identical cores.  The class
+below is a thin, mutable builder used by the partitioning heuristics; it
+maintains, incrementally, the per-core ``(K, K)`` level-utilization
+matrices ``U_j^{\\Psi_m}(k)`` (Eq. (3)) so that probing a task onto a core
+never rescans the core's task list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.taskset import MCTaskSet
+from repro.types import PartitionError
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """Mutable assignment of the tasks of ``taskset`` onto ``cores`` cores.
+
+    The builder enforces single-assignment: a task index may be assigned
+    at most once (heuristics never move tasks).
+
+    Examples
+    --------
+    >>> from repro.model import MCTask, MCTaskSet
+    >>> ts = MCTaskSet([MCTask((1.0,), 10.0), MCTask((2.0, 4.0), 10.0)])
+    >>> part = Partition(ts, cores=2)
+    >>> part.assign(0, 0); part.assign(1, 1)
+    >>> part.core_of(1)
+    1
+    >>> part.is_complete
+    True
+    """
+
+    __slots__ = ("_taskset", "_cores", "_assignment", "_level_mats", "_counts")
+
+    def __init__(self, taskset: MCTaskSet, cores: int):
+        if cores < 1:
+            raise PartitionError(f"core count must be >= 1, got {cores}")
+        self._taskset = taskset
+        self._cores = int(cores)
+        self._assignment = np.full(len(taskset), -1, dtype=np.int64)
+        k = taskset.levels
+        self._level_mats = np.zeros((self._cores, k, k), dtype=np.float64)
+        self._counts = np.zeros(self._cores, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def taskset(self) -> MCTaskSet:
+        return self._taskset
+
+    @property
+    def cores(self) -> int:
+        return self._cores
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every task has been assigned to some core."""
+        return bool((self._assignment >= 0).all())
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Copy of the task->core index vector (-1 for unassigned)."""
+        return self._assignment.copy()
+
+    def core_of(self, task_index: int) -> int:
+        """Core index of ``task_index``, or -1 if unassigned."""
+        return int(self._assignment[task_index])
+
+    def tasks_on(self, core: int) -> list[int]:
+        """Sorted task indices currently assigned to ``core``."""
+        self._check_core(core)
+        return np.flatnonzero(self._assignment == core).tolist()
+
+    def core_size(self, core: int) -> int:
+        self._check_core(core)
+        return int(self._counts[core])
+
+    def level_matrix(self, core: int) -> np.ndarray:
+        """The core's ``(K, K)`` matrix ``L[j-1, k-1] = U_j^{Psi_m}(k)`` (Eq. 3).
+
+        Returned as a read-only view; callers must not mutate it.
+        """
+        self._check_core(core)
+        view = self._level_mats[core]
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(self, task_index: int, core: int) -> None:
+        """Assign ``task_index`` to ``core`` (exactly once per task)."""
+        self._check_core(core)
+        if not 0 <= task_index < len(self._taskset):
+            raise PartitionError(f"task index {task_index} out of range")
+        if self._assignment[task_index] >= 0:
+            raise PartitionError(
+                f"task {task_index} already assigned to core"
+                f" {self._assignment[task_index]}"
+            )
+        self._assignment[task_index] = core
+        task = self._taskset[task_index]
+        row = self._level_mats[core, task.criticality - 1]
+        row.setflags(write=True)
+        row[: task.criticality] += self._taskset.utilization_matrix[
+            task_index, : task.criticality
+        ]
+        self._counts[core] += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def core_subsets(self) -> list[list[int]]:
+        """Per-core lists of assigned task indices (``Gamma`` as index lists)."""
+        return [self.tasks_on(m) for m in range(self._cores)]
+
+    def core_tasksets(self) -> list[MCTaskSet | None]:
+        """Per-core :class:`MCTaskSet` objects (``None`` for empty cores)."""
+        out: list[MCTaskSet | None] = []
+        for m in range(self._cores):
+            idx = self.tasks_on(m)
+            out.append(self._taskset.subset(idx) if idx else None)
+        return out
+
+    @classmethod
+    def from_assignment(
+        cls, taskset: MCTaskSet, cores: int, assignment: Sequence[int] | Iterable[int]
+    ) -> "Partition":
+        """Build a partition from an explicit task->core vector."""
+        part = cls(taskset, cores)
+        for i, core in enumerate(assignment):
+            if core >= 0:
+                part.assign(i, int(core))
+        return part
+
+    # ------------------------------------------------------------------
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self._cores:
+            raise PartitionError(
+                f"core index {core} out of range [0, {self._cores})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        done = int((self._assignment >= 0).sum())
+        return f"Partition(M={self._cores}, assigned={done}/{len(self._taskset)})"

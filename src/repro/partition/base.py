@@ -1,0 +1,137 @@
+"""Partitioner interface and result container.
+
+Every partitioning heuristic in :mod:`repro.partition` is a
+:class:`Partitioner` subclass: a stateless-per-call object whose
+:meth:`~Partitioner.partition` method maps a task set onto ``M`` cores
+and reports whether it succeeded.  A failed attempt still returns the
+partial :class:`~repro.model.Partition` (useful for diagnostics) plus the
+index of the first task that could not be placed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.edfvd import core_utilization
+from repro.model.partition import Partition
+from repro.model.taskset import MCTaskSet
+from repro.types import PartitionError
+
+__all__ = ["Partitioner", "PartitionResult"]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of one partitioning attempt.
+
+    Attributes
+    ----------
+    scheme:
+        Registry name of the heuristic that produced this result.
+    schedulable:
+        True iff every task was placed on a core that passes the
+        EDF-VD schedulability test.
+    partition:
+        The (possibly partial, when ``schedulable`` is False) partition.
+    order:
+        Task indices in the order the heuristic processed them.
+    failed_task:
+        Index of the first unplaceable task, or ``None`` on success.
+    """
+
+    scheme: str
+    schedulable: bool
+    partition: Partition
+    order: tuple[int, ...]
+    failed_task: int | None = None
+    _core_utils: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Task -> core index vector (-1 for unassigned)."""
+        return self.partition.assignment
+
+    def core_utilizations(self) -> np.ndarray:
+        """Per-core EDF-VD core utilizations ``U^{Psi_m}`` (Eq. (9)).
+
+        Empty cores have utilization 0.  May contain ``inf`` for a
+        partial/failed partition whose last probed state was infeasible
+        (never for a ``schedulable`` result).
+        """
+        if self._core_utils is not None:
+            return self._core_utils.copy()
+        out = np.empty(self.partition.cores, dtype=np.float64)
+        for m in range(self.partition.cores):
+            out[m] = core_utilization(self.partition.level_matrix(m))
+        return out
+
+
+class Partitioner(abc.ABC):
+    """Base class for task-to-core partitioning heuristics."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def order_tasks(self, taskset: MCTaskSet) -> list[int]:
+        """The order in which tasks are offered to cores."""
+
+    @abc.abstractmethod
+    def select_core(
+        self, task_index: int, partition: Partition, state: dict
+    ) -> int | None:
+        """Pick a feasible core for ``task_index`` or ``None`` if none fits.
+
+        ``state`` is a per-attempt scratch dict the heuristic may use to
+        cache incremental quantities across calls (e.g. per-core loads).
+        """
+
+    def partition(self, taskset: MCTaskSet, cores: int) -> PartitionResult:
+        """Run the heuristic over the whole task set.
+
+        Stops at the first unplaceable task (as Algorithm 1 does) and
+        reports failure; otherwise returns the complete feasible
+        partition.
+        """
+        if cores < 1:
+            raise PartitionError(f"core count must be >= 1, got {cores}")
+        part = Partition(taskset, cores)
+        order = self.order_tasks(taskset)
+        if sorted(order) != list(range(len(taskset))):
+            raise PartitionError(
+                f"{self.name}: order_tasks must return a permutation of all tasks"
+            )
+        state: dict = {}
+        for task_index in order:
+            target = self.select_core(task_index, part, state)
+            if target is None:
+                return PartitionResult(
+                    scheme=self.name,
+                    schedulable=False,
+                    partition=part,
+                    order=tuple(order),
+                    failed_task=task_index,
+                )
+            part.assign(task_index, target)
+        return PartitionResult(
+            scheme=self.name,
+            schedulable=True,
+            partition=part,
+            order=tuple(order),
+            failed_task=None,
+            _core_utils=self._final_core_utils(part, state),
+        )
+
+    def _final_core_utils(self, partition: Partition, state: dict) -> np.ndarray | None:
+        """Hook: heuristics that track Eq.-(9) core utilizations
+        incrementally can hand them over to the result to avoid a
+        recompute; default is ``None`` (recompute on demand)."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

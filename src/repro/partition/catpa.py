@@ -1,0 +1,142 @@
+"""CA-TPA: the paper's Criticality-Aware Task Partitioning Algorithm.
+
+Algorithm 1, augmented with the workload-imbalance override of
+Section III (Eq. (16)):
+
+1. Sort tasks by decreasing utilization contribution (Eqs. (12)-(13)).
+2. For each task, probe every core: compute the hypothetical new core
+   utilization ``U^{Psi_m + tau_i}`` (Eq. (15)) and the increment
+   ``Delta = U^{Psi_m + tau_i} - U^{Psi_m}`` (Eq. (14)).  Allocate the
+   task to the feasible core with the minimum increment (ties: lowest
+   core index).  Fail as soon as some task fits nowhere.
+3. Imbalance override: before selecting by minimum increment, compute
+   the workload imbalance factor
+   ``Lambda = (U_sys - min_m U^{Psi_m}) / U_sys`` over the current
+   partial mapping.  If ``Lambda`` exceeds the threshold ``alpha``, the
+   task is instead assigned to the feasible core with the minimum
+   *current* core utilization (ties: lowest core index).
+
+The per-core Eq.-(9) utilizations are tracked incrementally, so a full
+run costs ``O(N * M * K^2)`` probe work plus the ``O(N log N)`` sort,
+matching the paper's complexity analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.partition import Partition
+from repro.model.taskset import MCTaskSet
+from repro.partition import ordering
+from repro.partition.base import Partitioner
+from repro.partition.probe import probe_core_utilization
+from repro.types import EPS, PartitionError
+
+__all__ = ["CATPA"]
+
+#: Increments closer than this are treated as equal so that exact ties
+#: (which differ only by float round-off of Eq. (9)) deterministically go
+#: to the lower core index, as Algorithm 1 specifies.
+TIE_EPS: float = 1e-9
+
+
+class CATPA(Partitioner):
+    """Criticality-Aware Task Partitioning Algorithm.
+
+    Parameters
+    ----------
+    alpha:
+        Threshold for the workload imbalance factor ``Lambda``
+        (Eq. (16)).  The paper sweeps ``[0.1, 0.5]`` and uses 0.7 as the
+        default in the other experiments; ``alpha >= 1`` effectively
+        disables the override (``Lambda < 1`` whenever every core
+        utilization is finite and ``U_sys > 0``... except fully idle
+        cores, for which ``Lambda = 1`` exactly — hence ``alpha = None``
+        disables the override outright, which the ablation benches use).
+    eq9_rule:
+        Aggregation over feasible Theorem-1 conditions in Eq. (9):
+        ``"max"`` (the paper's text, default) or ``"min"`` (the
+        optimistic variant; identical for dual-criticality systems).
+    """
+
+    name = "ca-tpa"
+
+    def __init__(self, alpha: float | None = 0.7, eq9_rule: str = "max"):
+        if alpha is not None and not 0.0 <= alpha:
+            raise PartitionError(f"alpha must be >= 0 or None, got {alpha}")
+        if eq9_rule not in ("max", "min"):
+            raise PartitionError(f"eq9_rule must be 'max' or 'min', got {eq9_rule!r}")
+        self.alpha = alpha
+        self.eq9_rule = eq9_rule
+
+    # ------------------------------------------------------------------
+    def order_tasks(self, taskset: MCTaskSet) -> list[int]:
+        return ordering.by_contribution(taskset)
+
+    def select_core(
+        self, task_index: int, partition: Partition, state: dict
+    ) -> int | None:
+        utils = state.get("core_utils")
+        if utils is None:
+            utils = np.zeros(partition.cores, dtype=np.float64)
+            state["core_utils"] = utils
+
+        if self._imbalance_exceeded(utils):
+            target, new_util = self._min_utilization_core(
+                task_index, partition, utils
+            )
+        else:
+            target, new_util = self._min_increment_core(
+                task_index, partition, utils
+            )
+        if target is None:
+            return None
+        utils[target] = new_util
+        return target
+
+    def _final_core_utils(self, partition, state):
+        utils = state.get("core_utils")
+        return None if utils is None else utils.copy()
+
+    # ------------------------------------------------------------------
+    def _imbalance_exceeded(self, utils: np.ndarray) -> bool:
+        if self.alpha is None:
+            return False
+        u_sys = float(utils.max())
+        if u_sys <= EPS:
+            return False  # empty system: Lambda defined as 0
+        imbalance = (u_sys - float(utils.min())) / u_sys
+        return imbalance > self.alpha
+
+    def _min_increment_core(
+        self, task_index: int, partition: Partition, utils: np.ndarray
+    ) -> tuple[int | None, float]:
+        best_core: int | None = None
+        best_increment = np.inf
+        best_new = np.inf
+        for m in range(partition.cores):
+            new_util = probe_core_utilization(
+                partition, m, task_index, rule=self.eq9_rule
+            )
+            if not np.isfinite(new_util):
+                continue
+            increment = new_util - utils[m]
+            # ties (within float noise) keep the lowest-index core
+            if increment < best_increment - TIE_EPS:
+                best_increment = increment
+                best_core = m
+                best_new = new_util
+        return best_core, best_new
+
+    def _min_utilization_core(
+        self, task_index: int, partition: Partition, utils: np.ndarray
+    ) -> tuple[int | None, float]:
+        # Cores by ascending current utilization; stable sort keeps the
+        # lowest index first among ties.
+        for m in np.argsort(utils, kind="stable"):
+            new_util = probe_core_utilization(
+                partition, int(m), task_index, rule=self.eq9_rule
+            )
+            if np.isfinite(new_util):
+                return int(m), new_util
+        return None, np.inf

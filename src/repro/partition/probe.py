@@ -1,0 +1,47 @@
+"""Shared probing helpers: "what if task i joined core m?".
+
+Probes never mutate the partition; they build the hypothetical level
+matrix ``U_j^{Psi_m + tau_i}(k)`` by adding the task's utilization row to
+the core's cached matrix and evaluate the schedulability machinery on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.edfvd import core_utilization
+from repro.analysis.feasibility import is_feasible_core
+from repro.model.partition import Partition
+
+__all__ = ["candidate_level_matrix", "probe_core_utilization", "probe_feasible"]
+
+
+def candidate_level_matrix(
+    partition: Partition, core: int, task_index: int
+) -> np.ndarray:
+    """Level matrix of core ``core`` if ``task_index`` were added to it."""
+    taskset = partition.taskset
+    task = taskset[task_index]
+    mat = partition.level_matrix(core).copy()
+    crit = task.criticality
+    mat[crit - 1, :crit] += taskset.utilization_matrix[task_index, :crit]
+    return mat
+
+
+def probe_core_utilization(
+    partition: Partition, core: int, task_index: int, rule: str = "max"
+) -> float:
+    """Hypothetical new core utilization ``U^{Psi_m + tau_i}`` (Eq. (15)).
+
+    ``inf`` (:data:`repro.types.INFEASIBLE`) when the enlarged subset
+    fails Theorem 1, per Eq. (15a).  ``rule`` selects the Eq. (9)
+    aggregation (see :func:`repro.analysis.core_utilization`).
+    """
+    return core_utilization(
+        candidate_level_matrix(partition, core, task_index), rule=rule
+    )
+
+
+def probe_feasible(partition: Partition, core: int, task_index: int) -> bool:
+    """Would the enlarged subset pass the Eq.(4)-or-Theorem-1 test?"""
+    return is_feasible_core(candidate_level_matrix(partition, core, task_index))

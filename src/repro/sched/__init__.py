@@ -1,0 +1,48 @@
+"""Discrete-event runtime simulation of partitioned EDF-VD with AMC."""
+
+from repro.sched.core_sim import CoreReport, CoreSimulator, DeadlineMiss
+from repro.sched.job import Job
+from repro.sched.scenario import (
+    ExecutionScenario,
+    FaultyScenario,
+    HonestScenario,
+    LevelScenario,
+    RandomScenario,
+)
+from repro.sched.fp_sim import fp_core_simulator
+from repro.sched.global_sim import GlobalSimulator, dual_global_plan
+from repro.sched.releases import PeriodicReleases, ReleaseModel, SporadicReleases
+from repro.sched.system_sim import SystemReport, SystemSimulator, default_horizon
+from repro.sched.trace import (
+    EventKind,
+    ExecutionSlice,
+    Trace,
+    TraceEvent,
+    render_timeline,
+)
+
+__all__ = [
+    "CoreReport",
+    "CoreSimulator",
+    "DeadlineMiss",
+    "EventKind",
+    "ExecutionScenario",
+    "ExecutionSlice",
+    "FaultyScenario",
+    "GlobalSimulator",
+    "HonestScenario",
+    "Job",
+    "LevelScenario",
+    "PeriodicReleases",
+    "ReleaseModel",
+    "SporadicReleases",
+    "RandomScenario",
+    "SystemReport",
+    "SystemSimulator",
+    "Trace",
+    "TraceEvent",
+    "default_horizon",
+    "dual_global_plan",
+    "fp_core_simulator",
+    "render_timeline",
+]

@@ -1,0 +1,310 @@
+"""Event-driven simulation of EDF-VD + AMC on one core.
+
+The simulator implements the run-time rules of Sections II-III:
+
+* preemptive EDF on *virtual* absolute deadlines
+  ``release + scale(l_i, mode) * p_i``, where the scale comes from the
+  core's :class:`~repro.analysis.VirtualDeadlineAssignment`;
+* AMC mode switches: while the core is at mode ``m``, a job of a task
+  with ``l_i > m`` that executes for its level-``m`` budget ``c_i(m)``
+  without completing raises the mode to ``m + 1`` at that instant;
+  jobs (and future releases) of tasks with ``l_i < mode`` are dropped;
+* idle reset: the moment the core has no pending workload it returns to
+  mode 1 and all tasks release normally again (from their next period
+  boundary — releases are periodic and never shifted);
+* miss accounting is against *original* deadlines and only for jobs the
+  protocol did not drop.
+
+The loop advances from event to event (release / completion / budget
+boundary), so simulated time is exact up to float rounding; no quantum
+is involved.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.virtual_deadlines import VirtualDeadlineAssignment
+from repro.model.taskset import MCTaskSet
+from repro.sched.job import Job
+from repro.sched.scenario import ExecutionScenario
+from repro.sched.trace import EventKind, ExecutionSlice, Trace, TraceEvent
+from repro.types import SimulationError
+
+__all__ = ["CoreSimulator", "CoreReport", "DeadlineMiss"]
+
+#: Simulation time comparison tolerance.
+TIME_EPS: float = 1e-9
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """A non-dropped job that completed (or was still pending) past its
+    original deadline."""
+
+    task_index: int
+    level: int
+    release: float
+    deadline: float
+    lateness: float  #: > 0; inf for jobs still pending at the horizon
+
+
+@dataclass
+class CoreReport:
+    """Statistics of one core's simulation run."""
+
+    horizon: float
+    released: int = 0
+    completed: int = 0
+    dropped: int = 0  #: jobs cancelled by mode switches or dropped at release
+    censored: int = 0  #: jobs whose deadline lies beyond the horizon
+    mode_switches: int = 0
+    idle_resets: int = 0
+    max_mode: int = 1
+    busy_time: float = 0.0
+    misses: list[DeadlineMiss] = field(default_factory=list)
+    trace: Trace | None = None  #: populated when tracing is enabled
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.misses)
+
+    @property
+    def utilization_observed(self) -> float:
+        return self.busy_time / self.horizon if self.horizon > 0 else 0.0
+
+
+class CoreSimulator:
+    """Simulates one core's task subset under EDF-VD + AMC."""
+
+    def __init__(
+        self,
+        subset: MCTaskSet,
+        plan: VirtualDeadlineAssignment,
+        scenario: ExecutionScenario,
+        rng: np.random.Generator,
+        horizon: float,
+        record_trace: bool = False,
+        priority_fn=None,
+        releases=None,
+    ):
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        if plan.levels != subset.levels:
+            raise SimulationError(
+                f"plan has {plan.levels} levels but subset has {subset.levels}"
+            )
+        self.subset = subset
+        self.plan = plan
+        self.scenario = scenario
+        self.rng = rng
+        self.horizon = float(horizon)
+        self.record_trace = record_trace
+        #: optional scheduling-key override ``(job, mode) -> float``
+        #: (lower runs first).  Default: EDF-VD virtual deadlines.  The
+        #: fixed-priority simulator passes static priorities here; the
+        #: AMC machinery (budgets, drops, idle reset) is unchanged.
+        self.priority_fn = priority_fn
+        #: arrival model; ``None`` means strictly periodic releases.
+        #: See :mod:`repro.sched.releases`.
+        self.releases = releases
+
+    # ------------------------------------------------------------------
+    def run(self) -> CoreReport:
+        subset, plan, horizon = self.subset, self.plan, self.horizon
+        report = CoreReport(horizon=horizon)
+        n = len(subset)
+        periods = np.array([t.period for t in subset], dtype=np.float64)
+        levels = subset.criticalities
+        next_release = np.zeros(n, dtype=np.float64)
+
+        mode = 1
+        time = 0.0
+        seq = 0
+        # heap entries: (virtual_deadline, seq, job)
+        ready: list[tuple[float, int, Job]] = []
+        trace = Trace(events=[], slices=[]) if self.record_trace else None
+
+        def record(kind: EventKind, now: float, task_index: int | None = None):
+            if trace is not None:
+                trace.events.append(
+                    TraceEvent(time=now, kind=kind, task_index=task_index, mode=mode)
+                )
+
+        def virtual_deadline(job: Job) -> float:
+            scale = plan.task_scale(job.task_index, int(job.level), mode)
+            return job.release + scale * (job.deadline - job.release)
+
+        priority_fn = self.priority_fn
+
+        def push(job: Job) -> None:
+            key = (
+                virtual_deadline(job)
+                if priority_fn is None
+                else float(priority_fn(job, mode))
+            )
+            heapq.heappush(ready, (key, job.seq, job))
+
+        def rebuild() -> None:
+            jobs = [entry[2] for entry in ready]
+            ready.clear()
+            for job in jobs:
+                push(job)
+
+        def release_due(now: float) -> None:
+            nonlocal seq
+            due = np.flatnonzero(next_release <= now + TIME_EPS)
+            for i in due:
+                task = subset[int(i)]
+                r = float(next_release[i])
+                exec_time = float(self.scenario.draw(task, self.rng))
+                if exec_time <= 0:
+                    raise SimulationError(
+                        f"scenario produced non-positive execution time {exec_time}"
+                    )
+                job = Job(
+                    task_index=int(i),
+                    level=int(levels[i]),
+                    release=r,
+                    deadline=r + float(periods[i]),
+                    exec_time=exec_time,
+                    seq=seq,
+                )
+                seq += 1
+                report.released += 1
+                if job.deadline > horizon + TIME_EPS:
+                    report.censored += 1
+                record(EventKind.RELEASE, now, int(i))
+                if job.level < mode:
+                    job.dropped_at = now
+                    report.dropped += 1
+                    record(EventKind.DROP, now, int(i))
+                else:
+                    push(job)
+                if self.releases is None:
+                    gap = float(periods[i])
+                else:
+                    gap = float(self.releases.interarrival(task, self.rng))
+                    if gap < float(periods[i]) - TIME_EPS:
+                        raise SimulationError(
+                            "release model produced an interarrival below"
+                            f" the period ({gap} < {periods[i]})"
+                        )
+                next_release[i] = r + gap
+
+        def raise_mode(now: float) -> None:
+            nonlocal mode
+            mode += 1
+            report.mode_switches += 1
+            report.max_mode = max(report.max_mode, mode)
+            record(EventKind.MODE_UP, now)
+            # Cancel jobs of tasks below the new mode.
+            survivors = []
+            for _, _, job in ready:
+                if job.level < mode:
+                    job.dropped_at = now
+                    report.dropped += 1
+                    record(EventKind.DROP, now, job.task_index)
+                else:
+                    survivors.append(job)
+            ready.clear()
+            for job in survivors:
+                push(job)
+
+        def finish(job: Job, now: float) -> None:
+            job.completion = now
+            report.completed += 1
+            record(EventKind.COMPLETE, now, job.task_index)
+            if job.deadline <= horizon + TIME_EPS and now > job.deadline + TIME_EPS:
+                record(EventKind.MISS, now, job.task_index)
+                report.misses.append(
+                    DeadlineMiss(
+                        task_index=job.task_index,
+                        level=job.level,
+                        release=job.release,
+                        deadline=job.deadline,
+                        lateness=now - job.deadline,
+                    )
+                )
+
+        while time < horizon - TIME_EPS:
+            release_due(time)
+            if not ready:
+                if mode != 1:
+                    # Idle instant: AMC resets to the lowest mode.
+                    mode = 1
+                    report.idle_resets += 1
+                    record(EventKind.IDLE_RESET, time)
+                upcoming = float(next_release.min())
+                time = min(upcoming, horizon)
+                continue
+
+            vd, _, job = ready[0]
+            task = subset[job.task_index]
+            next_event = min(float(next_release.min()), horizon)
+
+            # Budget boundary that would trigger a mode switch: only for
+            # tasks above the current mode (Section II-A).
+            budget_trigger = np.inf
+            if job.level > mode:
+                budget = task.wcet(mode)
+                if job.exec_time > budget + TIME_EPS:
+                    if job.executed >= budget - TIME_EPS:
+                        # Already at the boundary (e.g. a release landed
+                        # exactly there): the overrun happens the instant
+                        # the job resumes.
+                        budget_trigger = time
+                    else:
+                        budget_trigger = time + (budget - job.executed)
+
+            completion_at = time + job.remaining
+            run_until = min(completion_at, next_event, budget_trigger)
+            delta = run_until - time
+            if delta < -TIME_EPS:
+                raise SimulationError("simulation time went backwards")
+            delta = max(delta, 0.0)
+            job.executed += delta
+            report.busy_time += delta
+            if trace is not None and delta > 0.0:
+                last = trace.slices[-1] if trace.slices else None
+                if (
+                    last is not None
+                    and last.task_index == job.task_index
+                    and abs(last.end - time) <= TIME_EPS
+                ):
+                    last.end = run_until  # merge contiguous slices
+                else:
+                    trace.slices.append(
+                        ExecutionSlice(
+                            start=time, end=run_until, task_index=job.task_index
+                        )
+                    )
+            time = run_until
+
+            if completion_at <= min(next_event, budget_trigger) + TIME_EPS and (
+                job.remaining <= TIME_EPS
+            ):
+                heapq.heappop(ready)
+                finish(job, time)
+            elif budget_trigger < next_event - TIME_EPS and time >= budget_trigger - TIME_EPS:
+                raise_mode(time)
+                rebuild()
+            # else: a release preempts; loop handles it.
+
+        # Horizon reached: pending jobs whose deadline passed are misses.
+        for _, _, job in ready:
+            if job.deadline <= horizon + TIME_EPS and job.remaining > TIME_EPS:
+                report.misses.append(
+                    DeadlineMiss(
+                        task_index=job.task_index,
+                        level=job.level,
+                        release=job.release,
+                        deadline=job.deadline,
+                        lateness=float("inf"),
+                    )
+                )
+        report.trace = trace
+        return report

@@ -1,0 +1,225 @@
+"""Global multiprocessor EDF-VD + AMC simulation.
+
+Unlike the partitioned simulator (:mod:`repro.sched.core_sim`), all
+``m`` processors share one ready queue: at every scheduling point the
+``m`` highest-priority ready jobs run in parallel (job-level parallelism
+is 1 — a job occupies at most one processor).  The AMC mode is
+system-wide: any running job exceeding its current-level budget raises
+the mode for the whole platform, dropping lower-criticality jobs
+everywhere; an all-idle instant resets to mode 1.
+
+Priorities come from the same deadline-scaling plan protocol as the
+partitioned simulator (``plan.task_scale``), so the global dual-
+criticality EDF-VD plan can be expressed with
+:class:`~repro.analysis.dbf.DualPerTaskPlan` (HI deadlines shrunk by the
+admission's ``x`` factor in LO mode, restored in HI mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.dbf import DualPerTaskPlan
+from repro.model.taskset import MCTaskSet
+from repro.sched.core_sim import CoreReport, DeadlineMiss, TIME_EPS
+from repro.sched.job import Job
+from repro.sched.scenario import ExecutionScenario
+from repro.types import ModelError, SimulationError
+
+__all__ = ["GlobalSimulator", "dual_global_plan"]
+
+
+def dual_global_plan(taskset: MCTaskSet, x_factor: float) -> DualPerTaskPlan:
+    """The global dual-criticality EDF-VD deadline plan for ``x_factor``."""
+    if taskset.levels != 2:
+        raise ModelError(
+            f"dual_global_plan needs K=2, got K={taskset.levels}"
+        )
+    if not 0.0 < x_factor <= 1.0:
+        raise ModelError(f"x factor must be in (0, 1], got {x_factor}")
+    deadlines = tuple(
+        t.period * (x_factor if t.criticality >= 2 else 1.0) for t in taskset
+    )
+    return DualPerTaskPlan(
+        deadlines=deadlines, periods=tuple(t.period for t in taskset)
+    )
+
+
+class GlobalSimulator:
+    """Simulates global preemptive EDF-VD + AMC on ``processors`` CPUs."""
+
+    def __init__(
+        self,
+        taskset: MCTaskSet,
+        processors: int,
+        plan,
+        scenario: ExecutionScenario,
+        rng: np.random.Generator,
+        horizon: float,
+        releases=None,
+    ):
+        if processors < 1:
+            raise SimulationError(f"processors must be >= 1, got {processors}")
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        if plan.levels != taskset.levels:
+            raise SimulationError(
+                f"plan has {plan.levels} levels but task set has {taskset.levels}"
+            )
+        self.taskset = taskset
+        self.processors = int(processors)
+        self.plan = plan
+        self.scenario = scenario
+        self.rng = rng
+        self.horizon = float(horizon)
+        self.releases = releases
+
+    # ------------------------------------------------------------------
+    def run(self) -> CoreReport:
+        taskset, plan, horizon = self.taskset, self.plan, self.horizon
+        m = self.processors
+        report = CoreReport(horizon=horizon)
+        n = len(taskset)
+        periods = np.array([t.period for t in taskset], dtype=np.float64)
+        levels = taskset.criticalities
+        next_release = np.zeros(n, dtype=np.float64)
+
+        mode = 1
+        time = 0.0
+        seq = 0
+        ready: list[Job] = []
+
+        def key(job: Job) -> tuple[float, int]:
+            scale = plan.task_scale(job.task_index, int(job.level), mode)
+            return (job.release + scale * (job.deadline - job.release), job.seq)
+
+        def release_due(now: float) -> None:
+            nonlocal seq
+            for i in np.flatnonzero(next_release <= now + TIME_EPS):
+                task = taskset[int(i)]
+                r = float(next_release[i])
+                exec_time = float(self.scenario.draw(task, self.rng))
+                if exec_time <= 0:
+                    raise SimulationError(
+                        f"scenario produced non-positive execution time {exec_time}"
+                    )
+                job = Job(
+                    task_index=int(i),
+                    level=int(levels[i]),
+                    release=r,
+                    deadline=r + float(periods[i]),
+                    exec_time=exec_time,
+                    seq=seq,
+                )
+                seq += 1
+                report.released += 1
+                if job.deadline > horizon + TIME_EPS:
+                    report.censored += 1
+                if job.level < mode:
+                    job.dropped_at = now
+                    report.dropped += 1
+                else:
+                    ready.append(job)
+                if self.releases is None:
+                    gap = float(periods[i])
+                else:
+                    gap = float(self.releases.interarrival(task, self.rng))
+                    if gap < float(periods[i]) - TIME_EPS:
+                        raise SimulationError(
+                            "release model produced an interarrival below"
+                            f" the period ({gap} < {periods[i]})"
+                        )
+                next_release[i] = r + gap
+
+        def raise_mode(now: float) -> None:
+            nonlocal mode
+            mode += 1
+            report.mode_switches += 1
+            report.max_mode = max(report.max_mode, mode)
+            survivors = []
+            for job in ready:
+                if job.level < mode:
+                    job.dropped_at = now
+                    report.dropped += 1
+                else:
+                    survivors.append(job)
+            ready[:] = survivors
+
+        def finish(job: Job, now: float) -> None:
+            job.completion = now
+            report.completed += 1
+            if job.deadline <= horizon + TIME_EPS and now > job.deadline + TIME_EPS:
+                report.misses.append(
+                    DeadlineMiss(
+                        task_index=job.task_index,
+                        level=job.level,
+                        release=job.release,
+                        deadline=job.deadline,
+                        lateness=now - job.deadline,
+                    )
+                )
+
+        while time < horizon - TIME_EPS:
+            release_due(time)
+            if not ready:
+                if mode != 1:
+                    mode = 1
+                    report.idle_resets += 1
+                time = min(float(next_release.min()), horizon)
+                continue
+
+            ready.sort(key=key)
+            running = ready[:m]
+            next_event = min(float(next_release.min()), horizon)
+
+            # Earliest interesting instant among the running jobs.
+            run_until = next_event
+            trigger_job: Job | None = None
+            for job in running:
+                completion_at = time + job.remaining
+                if completion_at < run_until - TIME_EPS:
+                    run_until = completion_at
+                    trigger_job = None  # completion handled below anyway
+                if job.level > mode:
+                    budget = taskset[job.task_index].wcet(mode)
+                    if job.exec_time > budget + TIME_EPS:
+                        if job.executed >= budget - TIME_EPS:
+                            boundary = time
+                        else:
+                            boundary = time + (budget - job.executed)
+                        if boundary < run_until - TIME_EPS:
+                            run_until = boundary
+                            trigger_job = job
+
+            delta = max(run_until - time, 0.0)
+            for job in running:
+                job.executed += delta
+                report.busy_time += delta
+            time = run_until
+
+            # Handle completions first, then a budget trigger.
+            completed = [j for j in running if j.remaining <= TIME_EPS]
+            for job in completed:
+                ready.remove(job)
+                finish(job, time)
+            if trigger_job is not None and not trigger_job.is_complete:
+                budget = taskset[trigger_job.task_index].wcet(mode)
+                if (
+                    trigger_job.level > mode
+                    and trigger_job.exec_time > budget + TIME_EPS
+                    and trigger_job.executed >= budget - TIME_EPS
+                ):
+                    raise_mode(time)
+
+        for job in ready:
+            if job.deadline <= horizon + TIME_EPS and job.remaining > TIME_EPS:
+                report.misses.append(
+                    DeadlineMiss(
+                        task_index=job.task_index,
+                        level=job.level,
+                        release=job.release,
+                        deadline=job.deadline,
+                        lateness=float("inf"),
+                    )
+                )
+        return report

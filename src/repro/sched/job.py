@@ -1,0 +1,47 @@
+"""Job objects for the runtime simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Job"]
+
+
+@dataclass
+class Job:
+    """One instance of a periodic MC task inside the simulator.
+
+    ``deadline`` is always the *original* absolute deadline (release +
+    period); the EDF-VD priority uses the mode-dependent *virtual*
+    deadline, which the core simulator computes on the fly.  Miss
+    accounting is against the original deadline.
+    """
+
+    task_index: int  #: index within the core's subset
+    level: int  #: the task's own criticality l_i
+    release: float
+    deadline: float  #: original absolute deadline (release + period)
+    exec_time: float  #: actual execution demand drawn from the scenario
+    seq: int  #: global release sequence number (priority tie-break)
+    executed: float = 0.0
+    completion: float | None = field(default=None)
+    dropped_at: float | None = field(default=None)
+
+    @property
+    def remaining(self) -> float:
+        return self.exec_time - self.executed
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completion is not None
+
+    @property
+    def is_dropped(self) -> bool:
+        return self.dropped_at is not None
+
+    @property
+    def lateness(self) -> float | None:
+        """Completion minus deadline; ``None`` if not complete."""
+        if self.completion is None:
+            return None
+        return self.completion - self.deadline

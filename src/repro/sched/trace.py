@@ -1,0 +1,88 @@
+"""Execution traces for the core simulator.
+
+When tracing is enabled the simulator records every protocol event
+(releases, completions, drops, mode switches, idle resets) and the
+executed time slices, enough to reconstruct the full schedule — e.g. as
+the ASCII timeline of :func:`render_timeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["EventKind", "TraceEvent", "ExecutionSlice", "Trace", "render_timeline"]
+
+
+class EventKind(Enum):
+    RELEASE = "release"
+    COMPLETE = "complete"
+    DROP = "drop"
+    MODE_UP = "mode_up"
+    IDLE_RESET = "idle_reset"
+    MISS = "miss"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: EventKind
+    task_index: int | None = None  #: None for core-wide events
+    mode: int | None = None  #: core mode after the event
+
+
+@dataclass
+class ExecutionSlice:
+    start: float
+    end: float
+    task_index: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Everything that happened on one core."""
+
+    events: list[TraceEvent]
+    slices: list[ExecutionSlice]
+
+    def events_of(self, kind: EventKind) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def busy_time(self) -> float:
+        return sum(s.duration for s in self.slices)
+
+
+def render_timeline(
+    trace: Trace, n_tasks: int, until: float, width: int = 80
+) -> str:
+    """ASCII Gantt chart: one row per task, '#' where it executes.
+
+    Intended for examples and debugging, not for precise measurement —
+    each column covers ``until / width`` time units and is marked if the
+    task runs at all inside it.
+    """
+    scale = until / width
+    rows = [[" "] * width for _ in range(n_tasks)]
+    for s in trace.slices:
+        if s.start >= until:
+            continue
+        first = int(s.start / scale)
+        last = min(int(max(s.start, min(s.end, until) - 1e-9) / scale), width - 1)
+        for col in range(first, last + 1):
+            rows[s.task_index][col] = "#"
+    mode_row = [" "] * width
+    for e in trace.events:
+        if e.time >= until:
+            continue
+        col = min(int(e.time / scale), width - 1)
+        if e.kind is EventKind.MODE_UP:
+            mode_row[col] = "^"
+        elif e.kind is EventKind.IDLE_RESET:
+            mode_row[col] = "v"
+    lines = [f"t{i:<3}|" + "".join(row) + "|" for i, row in enumerate(rows)]
+    lines.append("mode|" + "".join(mode_row) + "|  (^ switch up, v idle reset)")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Shared types, constants and exceptions for the :mod:`repro` package.
+
+The numerical conventions used throughout the library are documented in
+DESIGN.md section 6.  In particular, every schedulability comparison of the
+form ``demand <= capacity`` is performed with :data:`EPS` of absolute slack
+to absorb floating-point round-off; :data:`EPS` is small enough (1e-12)
+that it never flips a decision on the utilization scales used here
+(utilizations are O(1)).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EPS",
+    "INFEASIBLE",
+    "ReproError",
+    "ModelError",
+    "PartitionError",
+    "GenerationError",
+    "SimulationError",
+]
+
+#: Absolute tolerance for floating point feasibility comparisons.
+EPS: float = 1e-12
+
+#: Sentinel value used for "this core cannot accommodate the task"
+#: (Eq. (15a) of the paper assigns the new core utilization +inf in that
+#: case).  Kept as a named constant so call sites read like the paper.
+INFEASIBLE: float = float("inf")
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """An MC task or task set violates the model constraints."""
+
+
+class PartitionError(ReproError):
+    """A partitioning operation was used incorrectly (not mere infeasibility)."""
+
+
+class GenerationError(ReproError):
+    """Synthetic workload generation parameters are invalid."""
+
+
+class SimulationError(ReproError):
+    """The runtime simulator was configured or driven incorrectly."""

@@ -1,0 +1,112 @@
+"""Tests for utilization contributions and the CA-TPA ordering rules."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    contribution_matrix,
+    contribution_order,
+    utilization_contributions,
+)
+from repro.model import MCTask, MCTaskSet
+
+
+def ts_from_utils(rows, period=100.0, levels=None):
+    tasks = [MCTask.from_utilizations([u for u in row if u > 0] or [1e-9], period)
+             for row in rows]
+    return MCTaskSet(tasks, levels=levels)
+
+
+class TestContributionMatrix:
+    def test_shares_sum_to_one_per_level(self):
+        ts = MCTaskSet(
+            [
+                MCTask.from_utilizations([0.2], 10.0),
+                MCTask.from_utilizations([0.1, 0.3], 10.0),
+                MCTask.from_utilizations([0.3, 0.5], 10.0),
+            ],
+            levels=2,
+        )
+        contrib = contribution_matrix(ts)
+        # Level-1 shares over all tasks, level-2 shares over HI tasks.
+        np.testing.assert_allclose(contrib[:, 0].sum(), 1.0)
+        np.testing.assert_allclose(contrib[:, 1].sum(), 1.0)
+        # Hand values: U(1) = 0.6, U(2) = 0.8
+        assert contrib[0, 0] == pytest.approx(0.2 / 0.6)
+        assert contrib[2, 1] == pytest.approx(0.5 / 0.8)
+
+    def test_zero_total_level_contributes_zero(self):
+        # K=2 but no HI tasks at all: U(2) = 0, shares must be 0 (not nan).
+        ts = MCTaskSet([MCTask.from_utilizations([0.2], 10.0)], levels=2)
+        contrib = contribution_matrix(ts)
+        assert contrib[0, 1] == 0.0
+        assert np.isfinite(contrib).all()
+
+    def test_overall_is_rowwise_max(self):
+        ts = MCTaskSet(
+            [
+                MCTask.from_utilizations([0.1, 0.6], 10.0),
+                MCTask.from_utilizations([0.4], 10.0),
+            ],
+            levels=2,
+        )
+        # U(1) = 0.5, U(2) = 0.6
+        overall = utilization_contributions(ts)
+        assert overall[0] == pytest.approx(max(0.1 / 0.5, 0.6 / 0.6))
+        assert overall[1] == pytest.approx(0.4 / 0.5)
+
+
+class TestOrdering:
+    def test_descending_contribution(self):
+        ts = MCTaskSet(
+            [
+                MCTask.from_utilizations([0.1], 10.0),
+                MCTask.from_utilizations([0.5], 10.0),
+                MCTask.from_utilizations([0.2], 10.0),
+            ],
+            levels=1,
+        )
+        assert contribution_order(ts) == [1, 2, 0]
+
+    def test_tie_broken_by_criticality(self):
+        # Two tasks with identical overall contribution, different levels.
+        ts = MCTaskSet(
+            [
+                MCTask.from_utilizations([0.3], 10.0),  # C = 0.3/0.6 = 0.5, l=1
+                MCTask.from_utilizations([0.3, 0.4], 10.0),  # C = max(0.5, 1.0)=1, l=2
+                MCTask.from_utilizations([0.3], 10.0),
+            ],
+            levels=2,
+        )
+        order = contribution_order(ts)
+        assert order[0] == 1  # highest contribution first
+        # remaining two tie at 0.5 with equal level -> index order
+        assert order[1:] == [0, 2]
+
+    def test_tie_on_contribution_prefers_higher_level(self):
+        # Engineer an exact tie across levels: task A (l=1) and task B
+        # (l=2) both contribute exactly 0.5 overall.
+        # Binary fractions so the tie is exact in floating point:
+        # U(1) = 0.25 + 0.125 + 0.125 = 0.5, U(2) = 0.25 + 0.25 = 0.5.
+        ts = MCTaskSet(
+            [
+                MCTask.from_utilizations([0.25], 10.0),         # share1 = 0.5
+                MCTask.from_utilizations([0.125, 0.25], 10.0),  # share2 = 0.5
+                MCTask.from_utilizations([0.125, 0.25], 10.0),
+            ],
+            levels=2,
+        )
+        contrib = utilization_contributions(ts)
+        assert contrib[0] == contrib[1] == 0.5
+        order = contribution_order(ts)
+        # B (l=2) outranks A (l=1) despite equal contribution; equal pair
+        # of HI tasks keeps index order.
+        assert order == [1, 2, 0]
+
+    def test_order_is_permutation(self, rng):
+        from tests.conftest import random_taskset
+
+        for _ in range(20):
+            ts = random_taskset(rng, n=12, levels=4)
+            order = contribution_order(ts)
+            assert sorted(order) == list(range(12))

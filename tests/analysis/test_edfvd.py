@@ -1,0 +1,196 @@
+"""Unit tests for the Theorem-1 EDF-VD machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    available_utilizations,
+    capacity_terms,
+    core_utilization,
+    demand_terms,
+    first_feasible_condition,
+    is_feasible_simple,
+    is_feasible_theorem1,
+    lambda_factors,
+)
+from repro.model import MCTask, MCTaskSet
+from repro.types import INFEASIBLE, ModelError
+from tests.conftest import random_taskset
+
+
+def dual_matrix(lo_lo, hi_lo, hi_hi):
+    """(2,2) level matrix from the three dual-criticality aggregates."""
+    return np.array([[lo_lo, 0.0], [hi_lo, hi_hi]])
+
+
+class TestLambdaFactors:
+    def test_lambda1_is_zero(self):
+        lambdas = lambda_factors(dual_matrix(0.3, 0.2, 0.5))
+        assert lambdas[0] == 0.0
+
+    def test_dual_matches_x_factor(self):
+        # lambda_2 must equal the classical x = U_2(1) / (1 - U_1(1)).
+        lambdas = lambda_factors(dual_matrix(0.4, 0.3, 0.6))
+        assert lambdas[1] == pytest.approx(0.3 / (1.0 - 0.4))
+
+    def test_undefined_when_lo_saturates(self):
+        # U_1(1) >= 1 makes the denominator non-positive.
+        lambdas = lambda_factors(dual_matrix(1.2, 0.1, 0.2))
+        assert np.isnan(lambdas[1])
+
+    def test_undefined_when_factor_reaches_one(self):
+        # numerator/denominator >= 1 -> no valid shrink factor.
+        lambdas = lambda_factors(dual_matrix(0.5, 0.6, 0.7))
+        assert np.isnan(lambdas[1])
+
+    def test_zero_when_no_high_tasks(self):
+        lambdas = lambda_factors(dual_matrix(0.5, 0.0, 0.0))
+        assert lambdas[1] == 0.0
+
+    def test_chain_stops_after_first_undefined(self):
+        mat = np.zeros((3, 3))
+        mat[0, 0] = 1.5  # lambda_2 undefined
+        mat[2, 1] = 0.1
+        lambdas = lambda_factors(mat)
+        assert np.isnan(lambdas[1]) and np.isnan(lambdas[2])
+
+    def test_three_level_recurrence_by_hand(self):
+        # L[j-1, k-1] = U_j(k)
+        mat = np.array(
+            [
+                [0.2, 0.0, 0.0],
+                [0.1, 0.2, 0.0],
+                [0.1, 0.15, 0.3],
+            ]
+        )
+        lam2 = (0.1 + 0.1) / (1.0 - 0.2)
+        p2 = 1.0 - lam2
+        lam3 = (0.15 / p2) / (1.0 - 0.2 / p2)
+        lambdas = lambda_factors(mat)
+        assert lambdas[1] == pytest.approx(lam2)
+        assert lambdas[2] == pytest.approx(lam3)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ModelError):
+            lambda_factors(np.zeros((2, 3)))
+
+
+class TestDemandAndCapacity:
+    def test_dual_demand_is_eq7_lhs(self):
+        mu = demand_terms(dual_matrix(0.3, 0.2, 0.5))
+        expected = 0.3 + min(0.5, 0.2 / (1.0 - 0.5))
+        assert mu.shape == (1,)
+        assert mu[0] == pytest.approx(expected)
+
+    def test_demand_saturated_top_level(self):
+        mu = demand_terms(dual_matrix(0.1, 0.1, 1.2))
+        assert mu[0] == pytest.approx(0.1 + 1.2)
+
+    def test_demand_suffix_sums(self):
+        mat = np.array(
+            [
+                [0.1, 0.0, 0.0],
+                [0.05, 0.2, 0.0],
+                [0.05, 0.1, 0.3],
+            ]
+        )
+        min_term = min(0.3, 0.1 / (1.0 - 0.3))
+        mu = demand_terms(mat)
+        assert mu[0] == pytest.approx(0.1 + 0.2 + min_term)
+        assert mu[1] == pytest.approx(0.2 + min_term)
+
+    def test_capacity_is_cumprod_of_one_minus_lambda(self):
+        mat = np.array(
+            [
+                [0.2, 0.0, 0.0],
+                [0.1, 0.2, 0.0],
+                [0.1, 0.15, 0.3],
+            ]
+        )
+        lambdas = lambda_factors(mat)
+        theta = capacity_terms(mat)
+        assert theta[0] == pytest.approx(1.0)
+        assert theta[1] == pytest.approx((1.0 - lambdas[1]))
+
+    def test_single_level_degenerate(self):
+        mat = np.array([[0.7]])
+        assert demand_terms(mat)[0] == pytest.approx(0.7)
+        assert capacity_terms(mat)[0] == pytest.approx(1.0)
+        assert core_utilization(mat) == pytest.approx(0.7)
+
+    def test_single_level_overload(self):
+        assert core_utilization(np.array([[1.3]])) == INFEASIBLE
+
+
+class TestCoreUtilization:
+    def test_empty_core_is_zero(self):
+        assert core_utilization(np.zeros((3, 3))) == pytest.approx(0.0)
+
+    def test_paper_worked_value_tau4(self):
+        # After allocating tau_4 (u(1)=0.339, u(2)=0.633, l=2) to P_1 the
+        # paper computes U^{Psi_1} = 0 + min(0.633, 0.339/(1-0.633)).
+        mat = dual_matrix(0.0, 0.339, 0.633)
+        assert core_utilization(mat) == pytest.approx(
+            min(0.633, 0.339 / (1.0 - 0.633))
+        )
+
+    def test_infeasible_is_inf(self):
+        mat = dual_matrix(0.9, 0.5, 0.9)
+        assert core_utilization(mat) == INFEASIBLE
+        assert not is_feasible_theorem1(mat)
+
+    def test_dual_equals_demand_when_feasible(self):
+        # For K=2 there is a single condition with theta = 1, so the core
+        # utilization equals the Eq. (7) demand.
+        mat = dual_matrix(0.3, 0.2, 0.4)
+        assert core_utilization(mat) == pytest.approx(demand_terms(mat)[0])
+
+    def test_monotone_in_added_load_dual(self, rng):
+        # For K=2 there is a single condition, so Eq. (9) is monotone in
+        # added load.  (For K>=3 it need not be: adding load can knock out
+        # the condition that attained the max.)
+        for _ in range(100):
+            ts = random_taskset(rng, n=6, levels=2, max_u=0.2)
+            mat = ts.level_matrix()
+            base = core_utilization(mat)
+            bumped = mat.copy()
+            bumped[1, :] += np.array([0.02, 0.05])
+            grown = core_utilization(bumped)
+            assert grown >= base - 1e-12
+
+
+class TestFeasibility:
+    def test_first_feasible_condition_none_when_infeasible(self):
+        assert first_feasible_condition(dual_matrix(0.9, 0.8, 0.9)) is None
+
+    def test_first_feasible_condition_k1(self):
+        assert first_feasible_condition(dual_matrix(0.2, 0.1, 0.3)) == 1
+
+    def test_later_condition_can_rescue(self):
+        # Construct K=3 where condition k=1 fails but k=2 holds: big
+        # level-1 own load inflates mu(1) past 1, while tiny level-1
+        # utilizations of the higher-criticality tasks keep lambda_2 (and
+        # hence the k=2 capacity loss) small.
+        mat = np.array(
+            [
+                [0.90, 0.0, 0.0],
+                [0.010, 0.15, 0.0],
+                [0.005, 0.01, 0.05],
+            ]
+        )
+        avail = available_utilizations(mat)
+        assert avail[0] < 0 <= avail[1]
+        assert first_feasible_condition(mat) == 2
+        assert is_feasible_theorem1(mat)
+
+    def test_eq4_implies_theorem1(self, rng):
+        # DESIGN.md: Eq. (4) implies the k=1 condition of Theorem 1.
+        checked = 0
+        for _ in range(300):
+            ts = random_taskset(rng, n=5, levels=int(rng.integers(2, 6)), max_u=0.06)
+            mat = ts.level_matrix()
+            if is_feasible_simple(mat):
+                checked += 1
+                assert available_utilizations(mat)[0] >= -1e-12
+                assert is_feasible_theorem1(mat)
+        assert checked > 20  # the property was actually exercised

@@ -1,0 +1,92 @@
+"""Tests for the feasibility facade and the simple Eq. (4) test."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    is_feasible_core,
+    is_feasible_partition,
+    is_feasible_plain_edf,
+    is_feasible_simple,
+    infeasible_cores,
+    worst_case_load,
+)
+from repro.model import MCTask, MCTaskSet, Partition
+from repro.types import ModelError
+
+
+class TestSimple:
+    def test_worst_case_load_is_trace(self):
+        mat = np.array([[0.2, 0.0], [0.3, 0.5]])
+        assert worst_case_load(mat) == pytest.approx(0.7)
+
+    def test_eq4_accepts_at_one(self):
+        assert is_feasible_simple(np.array([[0.4, 0.0], [0.1, 0.6]]))
+
+    def test_eq4_rejects_above_one(self):
+        assert not is_feasible_simple(np.array([[0.5, 0.0], [0.1, 0.6]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ModelError):
+            worst_case_load(np.zeros((1, 2)))
+
+    def test_plain_edf(self):
+        assert is_feasible_plain_edf([0.5, 0.5])
+        assert not is_feasible_plain_edf([0.6, 0.5])
+
+
+class TestPartitionFeasibility:
+    @pytest.fixture
+    def ts(self):
+        return MCTaskSet(
+            [
+                MCTask.from_utilizations([0.6], 10.0),
+                MCTask.from_utilizations([0.3, 0.7], 10.0),
+                MCTask.from_utilizations([0.5], 10.0),
+            ],
+            levels=2,
+        )
+
+    def test_good_partition(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)  # core 0: 0.6
+        part.assign(2, 0)  # core 0: 1.1 -> infeasible!
+        part.assign(1, 1)
+        assert infeasible_cores(part) == [0]
+        assert not is_feasible_partition(part)
+
+    def test_feasible_split(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        part.assign(1, 1)
+        part.assign(2, 1)
+        # core 1: U_1(1)=0.5, U_2(1)=0.3, U_2(2)=0.7
+        # Eq.(7): 0.5 + min(0.7, 0.3/0.3=1.0) = 1.2 > 1 -> infeasible
+        assert infeasible_cores(part) == [1]
+        part2 = Partition(ts, cores=2)
+        part2.assign(0, 0)
+        part2.assign(2, 0)  # 1.1 > 1 still bad; try the only good split
+        part2.assign(1, 1)
+        assert not is_feasible_partition(part2)
+        part3 = Partition(ts, cores=3)
+        part3.assign(0, 0)
+        part3.assign(1, 1)
+        part3.assign(2, 2)
+        assert is_feasible_partition(part3)
+
+    def test_empty_cores_ignored(self, ts):
+        part = Partition(ts, cores=4)
+        part.assign(0, 0)
+        part.assign(2, 1)
+        assert infeasible_cores(part) == []
+
+    def test_core_facade_matches_components(self, rng):
+        from tests.conftest import random_taskset
+        from repro.analysis import is_feasible_theorem1
+
+        for _ in range(200):
+            ts = random_taskset(rng, n=5, levels=3, max_u=0.3)
+            mat = ts.level_matrix()
+            assert is_feasible_core(mat) == (
+                is_feasible_simple(mat) or is_feasible_theorem1(mat)
+            )

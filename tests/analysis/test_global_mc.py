@@ -1,0 +1,115 @@
+"""Tests for the global scheduling admission tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    gfb_edf_schedulable,
+    global_edfvd_admission,
+)
+from repro.model import MCTask, MCTaskSet
+from repro.types import ModelError
+
+
+def dual(rows):
+    return MCTaskSet([MCTask(wcets=w, period=p) for w, p in rows], levels=2)
+
+
+class TestGFB:
+    def test_empty_set(self):
+        assert gfb_edf_schedulable([], 2)
+
+    def test_uniprocessor_reduces_to_edf_bound(self):
+        assert gfb_edf_schedulable([0.5, 0.5], 1)
+        assert not gfb_edf_schedulable([0.6, 0.5], 1)
+
+    def test_classic_bound(self):
+        # m=2, d_max=0.5: bound = 2 - 1*0.5 = 1.5
+        assert gfb_edf_schedulable([0.5, 0.5, 0.5], 2)
+        assert not gfb_edf_schedulable([0.5, 0.5, 0.5, 0.1], 2)
+
+    def test_heavy_task_hurts(self):
+        # Same sum, bigger d_max -> rejected (Dhall-style effect).
+        assert gfb_edf_schedulable([0.4] * 3, 2)
+        assert not gfb_edf_schedulable([0.9, 0.15, 0.15], 2)
+
+    def test_density_above_one_rejected(self):
+        assert not gfb_edf_schedulable([1.2], 4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            gfb_edf_schedulable([0.5], 0)
+        with pytest.raises(ModelError):
+            gfb_edf_schedulable([-0.1], 2)
+
+
+class TestGlobalAdmission:
+    def test_light_set_accepted(self):
+        ts = dual([((1.0,), 10.0), ((1.0, 2.0), 10.0), ((1.0,), 20.0)])
+        adm = global_edfvd_admission(ts, processors=2)
+        assert adm.schedulable
+        assert adm.x_factor is not None
+
+    def test_overload_rejected(self):
+        ts = dual([((9.0,), 10.0), ((5.0, 9.0), 10.0), ((9.0,), 10.0)])
+        adm = global_edfvd_admission(ts, processors=2)
+        assert not adm.schedulable
+        assert adm.x_factor is None
+
+    def test_x_equal_one_branch(self):
+        # A set schedulable on worst-case budgets with no scaling.
+        ts = dual([((1.0, 2.0), 10.0)])
+        adm = global_edfvd_admission(ts, processors=1, x_grid=[1.0])
+        assert adm.schedulable
+        assert adm.x_factor == 1.0
+
+    def test_k3_rejected(self):
+        ts = MCTaskSet([MCTask(wcets=(1.0, 2.0, 3.0), period=10.0)], levels=3)
+        with pytest.raises(ModelError):
+            global_edfvd_admission(ts, 2)
+
+    def test_bad_grid_rejected(self):
+        ts = dual([((1.0,), 10.0)])
+        with pytest.raises(ModelError):
+            global_edfvd_admission(ts, 2, x_grid=[0.0])
+
+    def test_more_processors_never_hurt(self, rng):
+        from tests.conftest import random_taskset
+
+        for _ in range(50):
+            ts = random_taskset(rng, n=8, levels=2, max_u=0.4)
+            small = global_edfvd_admission(ts, 2).schedulable
+            if small:
+                assert global_edfvd_admission(ts, 4).schedulable
+
+
+class TestEmpiricalSoundness:
+    def test_accepted_sets_simulate_clean(self, rng):
+        """Every admitted set survives adversarial in-model scenarios on
+        the global simulator (the empirical soundness contract of the
+        adapted test — see module docstring)."""
+        from repro.gen import WorkloadConfig, generate_taskset
+        from repro.sched import (
+            GlobalSimulator,
+            LevelScenario,
+            RandomScenario,
+            dual_global_plan,
+        )
+
+        cfg = WorkloadConfig(cores=3, levels=2, nsu=0.55, task_count_range=(8, 12))
+        validated = 0
+        for i in range(25):
+            r = np.random.default_rng(np.random.SeedSequence(8, spawn_key=(i,)))
+            ts = generate_taskset(cfg, r)
+            adm = global_edfvd_admission(ts, 3)
+            if not adm.schedulable:
+                continue
+            validated += 1
+            plan = dual_global_plan(ts, adm.x_factor)
+            horizon = 15.0 * max(t.period for t in ts)
+            for scenario in (LevelScenario(2), RandomScenario(0.5)):
+                report = GlobalSimulator(
+                    ts, 3, plan, scenario, np.random.default_rng(i), horizon
+                ).run()
+                assert report.miss_count == 0
+        assert validated > 5

@@ -1,0 +1,149 @@
+"""Tests for the virtual-deadline assignment protocol."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import assign_virtual_deadlines, lambda_factors
+from repro.model import MCTask, MCTaskSet
+from repro.types import ModelError
+
+
+def dual_set(lo_lo=0.3, hi_lo=0.2, hi_hi=0.5):
+    return MCTaskSet(
+        [
+            MCTask.from_utilizations([lo_lo], 10.0, name="lo"),
+            MCTask.from_utilizations([hi_lo, hi_hi], 20.0, name="hi"),
+        ],
+        levels=2,
+    )
+
+
+class TestDualAssignment:
+    def test_feasible_set_gets_plan(self):
+        plan = assign_virtual_deadlines(dual_set())
+        assert plan is not None
+        assert plan.k_star == 1
+        assert plan.levels == 2
+
+    def test_infeasible_set_gets_none(self):
+        assert assign_virtual_deadlines(dual_set(0.9, 0.6, 0.95)) is None
+
+    def test_min_picks_own_level_runs_plain_edf(self):
+        # U_2(2) = 0.5 < U_2(1)/(1-U_2(2)) = 0.3/0.5 = 0.6: the min term
+        # selects U_2(2) and no deadline shrinking is needed at all.
+        plan = assign_virtual_deadlines(dual_set(0.4, 0.3, 0.5))
+        assert plan.top_level_restores
+        assert plan.scale(task_level=2, mode=1) == 1.0
+        assert plan.scale(task_level=2, mode=2) == 1.0
+        assert plan.scale(task_level=1, mode=1) == 1.0
+
+    def test_ratio_branch_scales_hi_by_one_minus_u22(self):
+        # ratio = 0.1/(1-0.8) = 0.5 < 0.8 = U_2(2): the min term selects
+        # the ratio; HI deadlines are scaled by 1 - U_2(2) (ESA'11 choice)
+        # in every mode.
+        ts = dual_set(0.4, 0.1, 0.8)
+        plan = assign_virtual_deadlines(ts)
+        assert not plan.top_level_restores
+        assert plan.scale(task_level=2, mode=1) == pytest.approx(1.0 - 0.8)
+        assert plan.scale(task_level=2, mode=2) == pytest.approx(1.0 - 0.8)
+        assert plan.scale(task_level=1, mode=1) == 1.0
+
+    def test_scaled_demand_fits_under_ratio_branch(self):
+        # The whole point of the 1-U_2(2) scale: LO-mode demand of HI
+        # tasks under shrunk deadlines is U_2(1)/(1-U_2(2)); with the LO
+        # tasks the core is exactly the Eq. (7) demand, which fits.
+        lo_lo, hi_lo, hi_hi = 0.4, 0.1, 0.8
+        plan = assign_virtual_deadlines(dual_set(lo_lo, hi_lo, hi_hi))
+        scale = plan.scale(2, 1)
+        assert lo_lo + hi_lo / scale <= 1.0 + 1e-12
+
+    def test_dropped_task_query_rejected(self):
+        plan = assign_virtual_deadlines(dual_set())
+        with pytest.raises(ModelError):
+            plan.scale(task_level=1, mode=2)
+
+    def test_bad_mode_rejected(self):
+        plan = assign_virtual_deadlines(dual_set())
+        with pytest.raises(ModelError):
+            plan.scale(task_level=2, mode=3)
+        with pytest.raises(ModelError):
+            plan.scale(task_level=2, mode=0)
+
+    def test_level_above_system_rejected(self):
+        plan = assign_virtual_deadlines(dual_set())
+        with pytest.raises(ModelError):
+            plan.scale(task_level=3, mode=1)
+
+
+class TestMultiLevel:
+    def make_k1_fails(self):
+        """K=3 subset where condition k=1 fails but k=2 holds (k* = 2)."""
+        return MCTaskSet(
+            [
+                MCTask.from_utilizations([0.90], 50.0),
+                MCTask.from_utilizations([0.010, 0.15], 60.0),
+                MCTask.from_utilizations([0.005, 0.01, 0.05], 70.0),
+            ],
+            levels=3,
+        )
+
+    def test_pivot_two_uses_lambda_shrink_below(self):
+        ts = self.make_k1_fails()
+        plan = assign_virtual_deadlines(ts)
+        assert plan is not None and plan.k_star == 2
+        lambdas = lambda_factors(ts.level_matrix())
+        # Mode 1 (< k*): tasks of level > 1 scale by lambda_2.
+        assert plan.scale(3, 1) == pytest.approx(lambdas[1])
+        assert plan.scale(2, 1) == pytest.approx(lambdas[1])
+        assert plan.scale(1, 1) == 1.0
+        # Mode 2 (= k*): L_2 restored; L_3 per the min-term branch.
+        assert plan.scale(2, 2) == 1.0
+
+    def test_own_level_task_never_scaled_below_pivot(self):
+        plan = assign_virtual_deadlines(self.make_k1_fails())
+        assert plan.scale(1, 1) == 1.0  # mode 1 < k*: own level runs full
+
+    def test_easy_three_level_restores_everything(self):
+        ts = MCTaskSet(
+            [
+                MCTask.from_utilizations([0.2], 50.0),
+                MCTask.from_utilizations([0.1, 0.2], 60.0),
+                MCTask.from_utilizations([0.1, 0.15, 0.3], 70.0),
+            ],
+            levels=3,
+        )
+        plan = assign_virtual_deadlines(ts)
+        assert plan.k_star == 1
+        # min term: U_3(3)=0.3 vs U_3(2)/(1-U_3(3)) = 0.15/0.7 ~ 0.214:
+        # ratio is smaller -> L_3 scaled by 1-U_3(3)=0.7, others full.
+        assert not plan.top_level_restores
+        assert plan.scale(3, 1) == pytest.approx(0.7)
+        assert plan.scale(2, 1) == 1.0
+        assert plan.scale(2, 2) == 1.0
+        assert plan.scale(3, 3) == pytest.approx(0.7)
+
+    def test_single_level_plain_edf(self):
+        ts = MCTaskSet([MCTask.from_utilizations([0.5], 10.0)], levels=1)
+        plan = assign_virtual_deadlines(ts)
+        assert plan.k_star == 1
+        assert plan.scale(1, 1) == 1.0
+
+    def test_single_level_overload_is_none(self):
+        ts = MCTaskSet([MCTask.from_utilizations([1.2], 10.0)], levels=1)
+        assert assign_virtual_deadlines(ts) is None
+
+    def test_scales_positive_and_at_most_one(self, rng):
+        from tests.conftest import random_taskset
+
+        plans = 0
+        for _ in range(80):
+            ts = random_taskset(rng, n=6, levels=4, max_u=0.15)
+            plan = assign_virtual_deadlines(ts)
+            if plan is None:
+                continue
+            plans += 1
+            for mode in range(1, 5):
+                for level in range(mode, 5):
+                    s = plan.scale(level, mode)
+                    assert 0.0 < s <= 1.0
+        assert plans > 10

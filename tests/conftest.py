@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import MCTask, MCTaskSet
+
+
+def make_task(utils, period=100.0, name=""):
+    """Task from a per-level utilization sequence (ascending WCETs implied)."""
+    return MCTask.from_utilizations(utils, period=period, name=name)
+
+
+def random_taskset(rng, n=8, levels=2, max_u=0.5):
+    """A small random MC task set for property-style tests.
+
+    Utilization vectors are non-decreasing by construction.
+    """
+    tasks = []
+    for i in range(n):
+        crit = int(rng.integers(1, levels + 1))
+        base = float(rng.uniform(0.01, max_u))
+        growth = rng.uniform(1.0, 1.8, size=crit - 1) if crit > 1 else []
+        utils = [base]
+        for g in growth:
+            utils.append(utils[-1] * float(g))
+        period = float(rng.uniform(10.0, 1000.0))
+        tasks.append(MCTask.from_utilizations(utils, period=period, name=f"t{i}"))
+    return MCTaskSet(tasks, levels=levels)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def dual_taskset():
+    """A hand-checked dual-criticality set: 2 LO + 2 HI tasks."""
+    return MCTaskSet(
+        [
+            MCTask(wcets=(2.0,), period=10.0, name="lo_a"),  # u=(0.2,)
+            MCTask(wcets=(3.0,), period=20.0, name="lo_b"),  # u=(0.15,)
+            MCTask(wcets=(2.0, 5.0), period=20.0, name="hi_a"),  # u=(0.1, 0.25)
+            MCTask(wcets=(4.0, 12.0), period=40.0, name="hi_b"),  # u=(0.1, 0.3)
+        ],
+        levels=2,
+    )

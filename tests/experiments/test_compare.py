@@ -1,0 +1,78 @@
+"""Tests for the head-to-head comparison harness."""
+
+import pytest
+
+from repro.experiments import SchemeSpec, format_head_to_head, head_to_head
+from repro.gen import WorkloadConfig
+from repro.types import ReproError
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = WorkloadConfig(cores=2, levels=2, nsu=0.8, task_count_range=(6, 8))
+    specs = [SchemeSpec.make(n) for n in ("ca-tpa", "ffd", "wfd")]
+    return head_to_head(cfg, specs, sets=30, seed=1)
+
+
+class TestHeadToHead:
+    def test_counts_consistent(self, result):
+        for a in result.labels:
+            assert 0 <= result.accepted[a] <= result.sets
+            for b in result.labels:
+                if a == b:
+                    continue
+                # wins(a,b) - wins(b,a) == accepted(a) - accepted(b)
+                diff = result.wins[a][b] - result.wins[b][a]
+                assert diff == result.accepted[a] - result.accepted[b]
+
+    def test_ratio(self, result):
+        for a in result.labels:
+            assert result.ratio(a) == pytest.approx(
+                result.accepted[a] / result.sets
+            )
+
+    def test_reproducible(self, result):
+        cfg = WorkloadConfig(cores=2, levels=2, nsu=0.8, task_count_range=(6, 8))
+        specs = [SchemeSpec.make(n) for n in ("ca-tpa", "ffd", "wfd")]
+        again = head_to_head(cfg, specs, sets=30, seed=1)
+        assert again == result
+
+    def test_duplicate_labels_rejected(self):
+        cfg = WorkloadConfig(cores=2, levels=2)
+        with pytest.raises(ReproError):
+            head_to_head(cfg, [SchemeSpec.make("ffd"), SchemeSpec.make("ffd")], sets=2)
+
+    def test_zero_sets_rejected(self):
+        cfg = WorkloadConfig(cores=2, levels=2)
+        with pytest.raises(ReproError):
+            head_to_head(cfg, [SchemeSpec.make("ffd")], sets=0)
+
+    def test_formatting(self, result):
+        text = format_head_to_head(result)
+        assert "ca-tpa" in text and "ffd" in text
+        assert "ratio" in text
+        assert str(result.sets) in text
+
+
+class TestHyperperiod:
+    def test_integer_periods(self):
+        from repro.model import MCTask, MCTaskSet
+
+        ts = MCTaskSet([MCTask((1.0,), 12.0), MCTask((1.0,), 18.0)])
+        assert ts.hyperperiod() == 36.0
+
+    def test_non_integer_periods_give_none(self):
+        from repro.model import MCTask, MCTaskSet
+
+        ts = MCTaskSet([MCTask((1.0,), 12.5)])
+        assert ts.hyperperiod() is None
+
+    def test_generated_workloads_have_hyperperiods(self, rng):
+        from repro.gen import WorkloadConfig, generate_taskset
+
+        ts = generate_taskset(
+            WorkloadConfig(task_count_range=(5, 8)), rng
+        )
+        assert ts.hyperperiod() is not None
+        for t in ts:
+            assert (ts.hyperperiod() / t.period) == int(ts.hyperperiod() / t.period)

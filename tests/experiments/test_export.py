@@ -1,0 +1,116 @@
+"""Tests for CSV export of sweep results."""
+
+import csv
+import dataclasses
+import io
+
+import pytest
+
+from repro.experiments import figure1_nsu, run_sweep, save_sweep_csv, sweep_to_csv
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    d = figure1_nsu(nsu_values=(0.4, 0.6))
+    base_point = d.point
+
+    def small_point(v):
+        config, schemes = base_point(v)
+        return config.with_(cores=2, task_count_range=(6, 8)), schemes
+
+    return run_sweep(dataclasses.replace(d, point=small_point), sets=5, seed=9)
+
+
+class TestCsvExport:
+    def test_row_count(self, tiny_result):
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(tiny_result))))
+        # 2 values x 5 schemes x 4 metrics
+        assert len(rows) == 40
+
+    def test_columns(self, tiny_result):
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(tiny_result))))
+        assert set(rows[0]) == {
+            "figure",
+            "parameter",
+            "value",
+            "scheme",
+            "metric",
+            "result",
+            "sets_per_point",
+            "seed",
+        }
+
+    def test_values_match_stats(self, tiny_result):
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(tiny_result))))
+        wanted = [
+            r
+            for r in rows
+            if r["scheme"] == "ffd"
+            and r["metric"] == "sched_ratio"
+            and r["value"] == "0.4"
+        ]
+        assert len(wanted) == 1
+        assert float(wanted[0]["result"]) == pytest.approx(
+            tiny_result.rows[0]["ffd"].sched_ratio
+        )
+
+    def test_save_to_file(self, tiny_result, tmp_path):
+        path = tmp_path / "fig.csv"
+        save_sweep_csv(tiny_result, path)
+        assert path.read_text().startswith("figure,parameter,value,scheme")
+
+
+class TestCliCsvFlag:
+    def test_cli_writes_csv(self, tmp_path, capsys, monkeypatch):
+        import dataclasses as dc
+
+        from repro import cli
+        from repro.experiments import sweeps
+
+        def tiny_fig1():
+            d = sweeps.figure1_nsu(nsu_values=(0.5,))
+            base_point = d.point
+
+            def small_point(v):
+                config, schemes = base_point(v)
+                return config.with_(cores=2, task_count_range=(5, 6)), schemes
+
+            return dc.replace(d, point=small_point)
+
+        monkeypatch.setitem(cli.FIGURES, "fig1", tiny_fig1)
+        assert cli.main(["fig1", "--sets", "3", "--csv", str(tmp_path / "csv")]) == 0
+        out = (tmp_path / "csv" / "fig1.csv").read_text()
+        assert "sched_ratio" in out
+
+
+class TestWeightedSchedulability:
+    def test_summary_values(self, tiny_result):
+        from repro.experiments import weighted_schedulability
+
+        summary = weighted_schedulability(tiny_result)
+        assert set(summary) == set(tiny_result.schemes)
+        for scheme, value in summary.items():
+            ratios = tiny_result.series("sched_ratio")[scheme]
+            assert min(ratios) - 1e-12 <= value <= max(ratios) + 1e-12
+
+    def test_hand_computed(self, tiny_result):
+        from repro.experiments import weighted_schedulability
+
+        ratios = tiny_result.series("sched_ratio")["ffd"]
+        expected = (0.4 * ratios[0] + 0.6 * ratios[1]) / 1.0
+        assert weighted_schedulability(tiny_result)["ffd"] == pytest.approx(expected)
+
+    def test_nonnumeric_values_rejected(self, tiny_result):
+        import dataclasses
+
+        from repro.experiments import weighted_schedulability
+        from repro.types import ReproError
+
+        broken = dataclasses.replace(
+            tiny_result,
+            definition=dataclasses.replace(
+                tiny_result.definition, values=("a", "b")
+            ),
+        )
+        with pytest.raises(ReproError):
+            weighted_schedulability(broken)

@@ -1,0 +1,94 @@
+"""Tests for the batch evaluation runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SchemeSpec, default_schemes, evaluate_point
+from repro.gen import WorkloadConfig
+from repro.types import ReproError
+
+
+SMALL = WorkloadConfig(cores=2, levels=2, nsu=0.6, task_count_range=(8, 12))
+
+
+class TestSchemeSpec:
+    def test_label_defaults_to_name(self):
+        assert SchemeSpec.make("ffd").label == "ffd"
+
+    def test_kwargs_forwarded(self):
+        spec = SchemeSpec.make("ca-tpa", alpha=0.3)
+        assert spec.build().alpha == 0.3
+
+    def test_custom_label(self):
+        spec = SchemeSpec.make("ca-tpa", label="ca-0.1", alpha=0.1)
+        assert spec.label == "ca-0.1"
+
+    def test_specs_are_picklable(self):
+        import pickle
+
+        spec = SchemeSpec.make("ca-tpa", alpha=0.5)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_default_schemes_are_the_papers_five(self):
+        labels = [s.label for s in default_schemes()]
+        assert labels == ["ca-tpa", "ffd", "bfd", "wfd", "hybrid"]
+
+
+class TestEvaluatePoint:
+    def test_returns_stats_per_scheme(self):
+        stats = evaluate_point(SMALL, sets=10, seed=1)
+        assert set(stats) == {"ca-tpa", "ffd", "bfd", "wfd", "hybrid"}
+        for s in stats.values():
+            assert s.total_sets == 10
+            assert 0.0 <= s.sched_ratio <= 1.0
+
+    def test_reproducible(self):
+        a = evaluate_point(SMALL, sets=15, seed=3)
+        b = evaluate_point(SMALL, sets=15, seed=3)
+        assert a == b
+
+    def test_seed_changes_results(self):
+        a = evaluate_point(SMALL, sets=15, seed=3)
+        b = evaluate_point(SMALL, sets=15, seed=4)
+        assert a != b
+
+    def test_parallel_matches_serial(self):
+        serial = evaluate_point(SMALL, sets=12, seed=5, jobs=1)
+        parallel = evaluate_point(SMALL, sets=12, seed=5, jobs=3)
+        assert set(serial) == set(parallel)
+        for label in serial:
+            s, p = serial[label], parallel[label]
+            # Counts are exact; sums may differ in the last ulp because
+            # shard merge order changes float accumulation order.
+            assert (s.total_sets, s.schedulable_sets) == (
+                p.total_sets,
+                p.schedulable_sets,
+            )
+            assert s.u_sys == pytest.approx(p.u_sys, nan_ok=True)
+            assert s.u_avg == pytest.approx(p.u_avg, nan_ok=True)
+            assert s.imbalance == pytest.approx(p.imbalance, nan_ok=True)
+
+    def test_custom_scheme_list(self):
+        specs = [
+            SchemeSpec.make("ca-tpa", label="ca-a", alpha=0.1),
+            SchemeSpec.make("ca-tpa", label="ca-b", alpha=None),
+        ]
+        stats = evaluate_point(SMALL, schemes=specs, sets=8, seed=1)
+        assert set(stats) == {"ca-a", "ca-b"}
+
+    def test_duplicate_labels_rejected(self):
+        specs = [SchemeSpec.make("ffd"), SchemeSpec.make("ffd")]
+        with pytest.raises(ReproError, match="duplicate"):
+            evaluate_point(SMALL, schemes=specs, sets=4)
+
+    def test_zero_sets_rejected(self):
+        with pytest.raises(ReproError):
+            evaluate_point(SMALL, sets=0)
+
+    def test_quality_metrics_only_when_schedulable(self):
+        # Overloaded config: nothing schedulable -> nan quality metrics.
+        heavy = WorkloadConfig(cores=2, levels=2, nsu=2.5, task_count_range=(8, 10))
+        stats = evaluate_point(heavy, sets=5, seed=1)
+        for s in stats.values():
+            assert s.sched_ratio == 0.0
+            assert np.isnan(s.u_sys)

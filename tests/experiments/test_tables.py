@@ -1,0 +1,78 @@
+"""Tests for the worked-example (Tables I-III) reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    allocation_trace,
+    paper_example_taskset,
+    table1_rows,
+)
+from repro.partition import CATPA, FirstFitDecreasing
+
+
+class TestExampleInstance:
+    def test_shape(self):
+        ts = paper_example_taskset()
+        assert len(ts) == 5
+        assert ts.levels == 2
+        assert int((ts.criticalities == 2).sum()) >= 2
+
+    def test_exhibits_the_phenomenon(self):
+        ts = paper_example_taskset()
+        assert not FirstFitDecreasing().partition(ts, 2).schedulable
+        assert CATPA().partition(ts, 2).schedulable
+
+    def test_cached_instance_is_stable(self):
+        assert paper_example_taskset() is paper_example_taskset()
+
+
+class TestTable1:
+    def test_rows_cover_all_tasks(self):
+        ts = paper_example_taskset()
+        rows = table1_rows(ts)
+        assert len(rows) == 5
+        for row, task in zip(rows, ts):
+            assert row["period"] == task.period
+            assert row["criticality"] == task.criticality
+
+    def test_contribution_matches_analysis(self):
+        from repro.analysis import utilization_contributions
+
+        ts = paper_example_taskset()
+        rows = table1_rows(ts)
+        contribs = utilization_contributions(ts)
+        for i, row in enumerate(rows):
+            assert row["contribution"] == pytest.approx(contribs[i])
+
+
+class TestAllocationTrace:
+    def test_ffd_trace_ends_in_failure(self):
+        ts = paper_example_taskset()
+        steps = allocation_trace(FirstFitDecreasing(), ts, cores=2)
+        assert steps[-1].core is None
+        # intermediate steps have an assigned core
+        assert all(s.core is not None for s in steps[:-1])
+
+    def test_catpa_trace_places_everything(self):
+        ts = paper_example_taskset()
+        steps = allocation_trace(CATPA(), ts, cores=2)
+        assert len(steps) == 5
+        assert all(s.core is not None for s in steps)
+
+    def test_trace_matrices_accumulate(self):
+        ts = paper_example_taskset()
+        steps = allocation_trace(CATPA(), ts, cores=2)
+        # Final matrices must equal the real partitioner's result.
+        result = CATPA().partition(ts, cores=2)
+        for m in range(2):
+            np.testing.assert_allclose(
+                steps[-1].core_levels[m], result.partition.level_matrix(m)
+            )
+
+    def test_trace_matches_partition_assignment(self):
+        ts = paper_example_taskset()
+        result = CATPA().partition(ts, cores=2)
+        steps = allocation_trace(CATPA(), ts, cores=2)
+        for step in steps:
+            assert result.partition.core_of(step.task_index) == step.core

@@ -1,0 +1,154 @@
+"""Tests for the Section IV-A synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.gen import WorkloadConfig, generate_batch, generate_taskset
+from repro.types import GenerationError
+
+
+@pytest.fixture
+def config():
+    return WorkloadConfig()
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        c = WorkloadConfig.paper_default()
+        assert (c.cores, c.levels, c.nsu, c.ifc) == (8, 4, 0.6, 0.4)
+        assert c.task_count_range == (40, 200)
+        assert len(c.period_ranges) == 3
+
+    def test_with_replaces_fields(self, config):
+        c2 = config.with_(nsu=0.8, cores=16)
+        assert (c2.nsu, c2.cores) == (0.8, 16)
+        assert c2.levels == config.levels
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"levels": 0},
+            {"nsu": 0.0},
+            {"ifc": -0.1},
+            {"task_count_range": (0, 10)},
+            {"task_count_range": (10, 5)},
+            {"period_ranges": ()},
+            {"period_ranges": ((0, 10),)},
+            {"period_ranges": ((20, 10),)},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(GenerationError):
+            WorkloadConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_task_count_in_range(self, config, rng):
+        for _ in range(10):
+            ts = generate_taskset(config, rng)
+            assert 40 <= len(ts) <= 200
+
+    def test_fixed_task_count(self, config, rng):
+        ts = generate_taskset(config, rng, n_tasks=55)
+        assert len(ts) == 55
+
+    def test_bad_task_count_rejected(self, config, rng):
+        with pytest.raises(GenerationError):
+            generate_taskset(config, rng, n_tasks=0)
+
+    def test_periods_from_declared_ranges(self, config, rng):
+        ts = generate_taskset(config, rng, n_tasks=100)
+        for t in ts:
+            assert any(lo <= t.period <= hi for lo, hi in config.period_ranges)
+            assert t.period == int(t.period)  # integer periods
+
+    def test_criticalities_within_levels(self, config, rng):
+        ts = generate_taskset(config, rng, n_tasks=200)
+        assert ts.levels == config.levels
+        assert ts.criticalities.min() >= 1
+        assert ts.criticalities.max() <= config.levels
+
+    def test_all_levels_hit_eventually(self, config, rng):
+        ts = generate_taskset(config, rng, n_tasks=200)
+        assert set(np.unique(ts.criticalities)) == {1, 2, 3, 4}
+
+    def test_wcet_growth_matches_ifc(self, config, rng):
+        ts = generate_taskset(config, rng, n_tasks=50)
+        for t in ts:
+            for k in range(2, t.criticality + 1):
+                assert t.wcet(k) == pytest.approx(t.wcet(k - 1) * (1 + config.ifc))
+
+    def test_c1_within_sampling_band(self, config, rng):
+        # c_i(1) in [0.2, 1.8] * p_i * u_base
+        n = 120
+        ts = generate_taskset(config, rng, n_tasks=n)
+        u_base = config.nsu * config.cores / n
+        for t in ts:
+            assert 0.2 * u_base - 1e-12 <= t.utilization(1) <= 1.8 * u_base + 1e-12
+
+    def test_nsu_achieved_in_expectation(self, config, rng):
+        # Mean aggregate level-1 utilization over many sets ~= NSU * M.
+        totals = [
+            generate_taskset(config, rng, n_tasks=100).average_utilization(1)
+            for _ in range(100)
+        ]
+        assert np.mean(totals) == pytest.approx(config.nsu * config.cores, rel=0.05)
+
+    def test_exact_nsu_flag(self, rng):
+        config = WorkloadConfig(exact_nsu=True)
+        ts = generate_taskset(config, rng, n_tasks=77)
+        assert ts.average_utilization(1) == pytest.approx(
+            config.nsu * config.cores, rel=1e-9
+        )
+
+
+class TestBatch:
+    def test_batch_reproducible(self):
+        cfg = WorkloadConfig()
+        a = generate_batch(cfg, 5, seed=42)
+        b = generate_batch(cfg, 5, seed=42)
+        assert a == b
+
+    def test_batch_sets_differ(self):
+        cfg = WorkloadConfig()
+        batch = generate_batch(cfg, 3, seed=7)
+        assert batch[0] != batch[1]
+
+    def test_empty_batch(self):
+        assert generate_batch(WorkloadConfig(), 0, seed=1) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_batch(WorkloadConfig(), -1, seed=1)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(99)
+        batch = generate_batch(WorkloadConfig(), 2, seed=seq)
+        assert len(batch) == 2
+
+
+class TestCritWeights:
+    def test_uniform_by_default(self, config, rng):
+        ts = generate_taskset(config, rng, n_tasks=400)
+        counts = np.bincount(ts.criticalities, minlength=5)[1:]
+        assert (counts > 50).all()  # all four levels well represented
+
+    def test_skewed_weights_respected(self, rng):
+        config = WorkloadConfig(crit_weights=(1.0, 0.0, 0.0, 1.0))
+        ts = generate_taskset(config, rng, n_tasks=300)
+        crits = set(np.unique(ts.criticalities))
+        assert crits <= {1, 4}
+        assert crits == {1, 4}
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(GenerationError, match="one weight per level"):
+            WorkloadConfig(crit_weights=(1.0, 1.0))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GenerationError):
+            WorkloadConfig(crit_weights=(1.0, -1.0, 1.0, 1.0))
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(GenerationError):
+            WorkloadConfig(crit_weights=(0.0, 0.0, 0.0, 0.0))

@@ -1,0 +1,67 @@
+"""Tests for the UUniFast workload generator extension."""
+
+import numpy as np
+import pytest
+
+from repro.gen import uunifast, uunifast_discard, uunifast_mc_taskset
+from repro.types import GenerationError
+
+
+class TestUUniFast:
+    def test_sums_to_total(self, rng):
+        for n, total in [(1, 0.5), (5, 2.0), (50, 10.0)]:
+            utils = uunifast(n, total, rng)
+            assert utils.sum() == pytest.approx(total)
+            assert utils.shape == (n,)
+
+    def test_non_negative(self, rng):
+        for _ in range(50):
+            assert (uunifast(10, 3.0, rng) >= 0).all()
+
+    def test_single_task(self, rng):
+        assert uunifast(1, 0.7, rng)[0] == pytest.approx(0.7)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(GenerationError):
+            uunifast(0, 1.0, rng)
+        with pytest.raises(GenerationError):
+            uunifast(3, 0.0, rng)
+
+    def test_mean_is_uniform_split(self, rng):
+        # On the simplex each component has mean total/n.
+        samples = np.array([uunifast(4, 2.0, rng) for _ in range(3000)])
+        np.testing.assert_allclose(samples.mean(axis=0), 0.5, atol=0.03)
+
+
+class TestDiscard:
+    def test_all_components_at_most_one(self, rng):
+        for _ in range(30):
+            utils = uunifast_discard(6, 4.0, rng)
+            assert (utils <= 1.0).all()
+            assert utils.sum() == pytest.approx(4.0)
+
+    def test_impossible_total_rejected(self, rng):
+        with pytest.raises(GenerationError):
+            uunifast_discard(3, 3.5, rng)
+
+
+class TestMCTaskset:
+    def test_structure(self, rng):
+        ts = uunifast_mc_taskset(20, 4.0, levels=3, ifc=0.5, rng=rng)
+        assert len(ts) == 20
+        assert ts.levels == 3
+        assert ts.average_utilization(1) == pytest.approx(4.0, rel=1e-6)
+
+    def test_growth(self, rng):
+        ts = uunifast_mc_taskset(10, 2.0, levels=4, ifc=0.25, rng=rng)
+        for t in ts:
+            for k in range(2, t.criticality + 1):
+                assert t.wcet(k) == pytest.approx(t.wcet(k - 1) * 1.25)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(GenerationError):
+            uunifast_mc_taskset(5, 1.0, levels=0, ifc=0.3, rng=rng)
+        with pytest.raises(GenerationError):
+            uunifast_mc_taskset(5, 1.0, levels=2, ifc=-1.0, rng=rng)
+        with pytest.raises(GenerationError):
+            uunifast_mc_taskset(5, 1.0, levels=2, ifc=0.3, rng=rng, period_range=(9, 2))

@@ -1,0 +1,68 @@
+"""Tests for the partition-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    average_core_utilization,
+    core_utilizations,
+    imbalance_factor,
+    partition_metrics,
+    system_utilization,
+)
+from repro.model import MCTask, MCTaskSet, Partition
+from repro.types import ModelError
+
+
+@pytest.fixture
+def partition():
+    ts = MCTaskSet(
+        [
+            MCTask.from_utilizations([0.6], 10.0),
+            MCTask.from_utilizations([0.2], 10.0),
+        ],
+        levels=1,
+    )
+    part = Partition(ts, cores=2)
+    part.assign(0, 0)
+    part.assign(1, 1)
+    return part
+
+
+class TestVectorMetrics:
+    def test_system_utilization_is_max(self):
+        assert system_utilization(np.array([0.2, 0.9, 0.5])) == 0.9
+
+    def test_average(self):
+        assert average_core_utilization(np.array([0.2, 0.4])) == pytest.approx(0.3)
+
+    def test_imbalance(self):
+        assert imbalance_factor(np.array([0.8, 0.4])) == pytest.approx(0.5)
+
+    def test_imbalance_balanced_is_zero(self):
+        assert imbalance_factor(np.array([0.5, 0.5])) == 0.0
+
+    def test_imbalance_idle_system_is_zero(self):
+        assert imbalance_factor(np.zeros(4)) == 0.0
+
+    def test_imbalance_with_empty_core_is_one(self):
+        assert imbalance_factor(np.array([0.7, 0.0])) == pytest.approx(1.0)
+
+
+class TestPartitionMetrics:
+    def test_core_utilizations(self, partition):
+        np.testing.assert_allclose(core_utilizations(partition), [0.6, 0.2])
+
+    def test_partition_metrics_dict(self, partition):
+        m = partition_metrics(partition)
+        assert m["u_sys"] == pytest.approx(0.6)
+        assert m["u_avg"] == pytest.approx(0.4)
+        assert m["imbalance"] == pytest.approx((0.6 - 0.2) / 0.6)
+
+    def test_accepts_precomputed_utils(self, partition):
+        m = partition_metrics(partition, utils=np.array([0.6, 0.2]))
+        assert m["u_sys"] == pytest.approx(0.6)
+
+    def test_rejects_wrong_shape(self, partition):
+        with pytest.raises(ModelError):
+            partition_metrics(partition, utils=np.array([0.6, 0.2, 0.1]))

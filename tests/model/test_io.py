@@ -1,0 +1,105 @@
+"""Tests for JSON serialization of task sets and partitions."""
+
+import json
+
+import pytest
+
+from repro.model import (
+    MCTask,
+    MCTaskSet,
+    Partition,
+    load_partition,
+    load_taskset,
+    partition_from_dict,
+    partition_to_dict,
+    save_partition,
+    save_taskset,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from repro.types import ModelError
+
+
+@pytest.fixture
+def taskset():
+    return MCTaskSet(
+        [
+            MCTask(wcets=(2.0, 5.0), period=20.0, name="hi"),
+            MCTask(wcets=(4.0,), period=25.0, name="lo"),
+        ],
+        levels=3,
+    )
+
+
+class TestTasksetRoundTrip:
+    def test_dict_round_trip(self, taskset):
+        assert taskset_from_dict(taskset_to_dict(taskset)) == taskset
+
+    def test_file_round_trip(self, taskset, tmp_path):
+        path = tmp_path / "ts.json"
+        save_taskset(taskset, path)
+        assert load_taskset(path) == taskset
+
+    def test_document_is_plain_json(self, taskset, tmp_path):
+        path = tmp_path / "ts.json"
+        save_taskset(taskset, path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-mc-taskset"
+        assert doc["levels"] == 3
+        assert doc["tasks"][0]["wcets"] == [2.0, 5.0]
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelError, match="format"):
+            taskset_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, taskset):
+        doc = taskset_to_dict(taskset)
+        doc["version"] = 99
+        with pytest.raises(ModelError, match="version"):
+            taskset_from_dict(doc)
+
+    def test_malformed_tasks_rejected(self, taskset):
+        doc = taskset_to_dict(taskset)
+        del doc["tasks"][0]["period"]
+        with pytest.raises(ModelError, match="malformed"):
+            taskset_from_dict(doc)
+
+    def test_invalid_task_values_surface_model_errors(self, taskset):
+        doc = taskset_to_dict(taskset)
+        doc["tasks"][0]["wcets"] = [5.0, 2.0]  # decreasing
+        with pytest.raises(ModelError):
+            taskset_from_dict(doc)
+
+
+class TestPartitionRoundTrip:
+    def test_round_trip(self, taskset, tmp_path):
+        part = Partition(taskset, cores=2)
+        part.assign(0, 1)
+        part.assign(1, 0)
+        path = tmp_path / "part.json"
+        save_partition(part, path)
+        loaded = load_partition(path)
+        assert loaded.cores == 2
+        assert loaded.core_of(0) == 1
+        assert loaded.core_of(1) == 0
+        assert loaded.taskset == taskset
+
+    def test_partial_partition_round_trip(self, taskset):
+        part = Partition(taskset, cores=2)
+        part.assign(0, 0)
+        clone = partition_from_dict(partition_to_dict(part))
+        assert clone.core_of(0) == 0
+        assert clone.core_of(1) == -1
+
+    def test_wrong_format_rejected(self, taskset):
+        with pytest.raises(ModelError, match="format"):
+            partition_from_dict(taskset_to_dict(taskset))
+
+    def test_level_matrices_rebuilt(self, taskset):
+        import numpy as np
+
+        part = Partition(taskset, cores=2)
+        part.assign(0, 0)
+        part.assign(1, 0)
+        clone = partition_from_dict(partition_to_dict(part))
+        np.testing.assert_allclose(clone.level_matrix(0), part.level_matrix(0))

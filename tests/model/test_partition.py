@@ -1,0 +1,124 @@
+"""Unit tests for the Partition builder."""
+
+import numpy as np
+import pytest
+
+from repro.model import MCTask, MCTaskSet, Partition
+from repro.types import PartitionError
+
+
+@pytest.fixture
+def ts():
+    return MCTaskSet(
+        [
+            MCTask(wcets=(1.0,), period=10.0),  # u=(0.1,)
+            MCTask(wcets=(2.0, 4.0), period=10.0),  # u=(0.2, 0.4)
+            MCTask(wcets=(3.0, 6.0), period=20.0),  # u=(0.15, 0.3)
+        ],
+        levels=2,
+    )
+
+
+class TestAssignment:
+    def test_initially_unassigned(self, ts):
+        part = Partition(ts, cores=2)
+        assert not part.is_complete
+        assert part.core_of(0) == -1
+        assert part.tasks_on(0) == []
+
+    def test_assign_and_query(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        part.assign(1, 1)
+        part.assign(2, 1)
+        assert part.is_complete
+        assert part.core_of(2) == 1
+        assert part.tasks_on(1) == [1, 2]
+        assert part.core_size(0) == 1
+
+    def test_double_assignment_rejected(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        with pytest.raises(PartitionError, match="already assigned"):
+            part.assign(0, 1)
+
+    def test_bad_core_rejected(self, ts):
+        part = Partition(ts, cores=2)
+        with pytest.raises(PartitionError):
+            part.assign(0, 2)
+        with pytest.raises(PartitionError):
+            part.assign(0, -1)
+
+    def test_bad_task_rejected(self, ts):
+        part = Partition(ts, cores=2)
+        with pytest.raises(PartitionError):
+            part.assign(5, 0)
+
+    def test_zero_cores_rejected(self, ts):
+        with pytest.raises(PartitionError):
+            Partition(ts, cores=0)
+
+
+class TestLevelMatrices:
+    def test_incremental_matches_batch(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        part.assign(1, 0)
+        part.assign(2, 1)
+        np.testing.assert_allclose(part.level_matrix(0), ts.level_matrix([0, 1]))
+        np.testing.assert_allclose(part.level_matrix(1), ts.level_matrix([2]))
+
+    def test_empty_core_matrix_is_zero(self, ts):
+        part = Partition(ts, cores=3)
+        np.testing.assert_allclose(part.level_matrix(2), np.zeros((2, 2)))
+
+    def test_returned_matrix_not_writable(self, ts):
+        part = Partition(ts, cores=1)
+        part.assign(0, 0)
+        with pytest.raises(ValueError):
+            part.level_matrix(0)[0, 0] = 1.0
+
+    def test_matrix_updates_after_each_assign(self, ts):
+        part = Partition(ts, cores=1)
+        part.assign(1, 0)
+        assert part.level_matrix(0)[1, 0] == pytest.approx(0.2)
+        assert part.level_matrix(0)[1, 1] == pytest.approx(0.4)
+        part.assign(2, 0)
+        assert part.level_matrix(0)[1, 0] == pytest.approx(0.35)
+        assert part.level_matrix(0)[1, 1] == pytest.approx(0.7)
+
+
+class TestExport:
+    def test_core_subsets(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 1)
+        part.assign(1, 0)
+        part.assign(2, 1)
+        assert part.core_subsets() == [[1], [0, 2]]
+
+    def test_core_tasksets(self, ts):
+        part = Partition(ts, cores=3)
+        part.assign(0, 0)
+        subsets = part.core_tasksets()
+        assert subsets[0] is not None and len(subsets[0]) == 1
+        assert subsets[1] is None and subsets[2] is None
+
+    def test_from_assignment_roundtrip(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        part.assign(1, 1)
+        part.assign(2, 0)
+        clone = Partition.from_assignment(ts, 2, part.assignment)
+        assert clone.core_subsets() == part.core_subsets()
+
+    def test_from_assignment_skips_unassigned(self, ts):
+        part = Partition.from_assignment(ts, 2, [-1, 0, -1])
+        assert part.core_of(0) == -1
+        assert part.core_of(1) == 0
+        assert not part.is_complete
+
+    def test_assignment_returns_copy(self, ts):
+        part = Partition(ts, cores=2)
+        vec = part.assignment
+        vec[0] = 1
+        assert part.core_of(0) == -1

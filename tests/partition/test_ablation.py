@@ -1,0 +1,121 @@
+"""Tests for the CA-TPA ablation variants and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.model import MCTask, MCTaskSet
+from repro.partition import (
+    CATPA,
+    CATPAVariant,
+    available_schemes,
+    get_partitioner,
+    register,
+)
+from repro.partition.ablation import ORDERINGS, SELECTIONS
+from repro.types import PartitionError
+from tests.conftest import random_taskset
+
+
+class TestVariantConstruction:
+    def test_default_variant_matches_catpa(self, rng):
+        for _ in range(30):
+            ts = random_taskset(rng, n=8, levels=3, max_u=0.2)
+            base = CATPA().partition(ts, cores=3)
+            variant = CATPAVariant().partition(ts, cores=3)
+            assert base.schedulable == variant.schedulable
+            np.testing.assert_array_equal(base.assignment, variant.assignment)
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(PartitionError):
+            CATPAVariant(order="nope")
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(PartitionError):
+            CATPAVariant(selection="nope")
+
+    def test_random_order_needs_rng(self):
+        with pytest.raises(PartitionError):
+            CATPAVariant(order="random")
+
+    def test_name_encodes_configuration(self):
+        v = CATPAVariant(order="max-utilization", selection="first-fit", alpha=None)
+        assert "max-utilization" in v.name
+        assert "first-fit" in v.name
+        assert "no-imbalance" in v.name
+
+    def test_random_order_is_permutation(self, rng):
+        ts = random_taskset(rng, n=10, levels=2)
+        v = CATPAVariant(order="random", rng=rng)
+        assert sorted(v.order_tasks(ts)) == list(range(10))
+
+
+class TestVariantBehaviour:
+    @pytest.mark.parametrize("selection", SELECTIONS)
+    def test_all_selections_produce_feasible_results(self, selection, rng):
+        from repro.analysis import is_feasible_partition
+
+        ok = 0
+        for _ in range(40):
+            ts = random_taskset(rng, n=8, levels=3, max_u=0.2)
+            res = CATPAVariant(selection=selection).partition(ts, cores=3)
+            if res.schedulable:
+                ok += 1
+                assert is_feasible_partition(res.partition)
+        assert ok > 5
+
+    @pytest.mark.parametrize("order", sorted(ORDERINGS))
+    def test_all_orderings_produce_permutations(self, order, rng):
+        ts = random_taskset(rng, n=10, levels=3)
+        v = CATPAVariant(order=order)
+        assert sorted(v.order_tasks(ts)) == list(range(10))
+
+    def test_first_fit_selection_packs_low_cores(self):
+        ts = MCTaskSet(
+            [MCTask.from_utilizations([0.2], 10.0) for _ in range(3)], levels=1
+        )
+        res = CATPAVariant(selection="first-fit", alpha=None).partition(ts, cores=2)
+        assert res.partition.tasks_on(0) == [0, 1, 2]
+
+    def test_worst_fit_selection_spreads(self):
+        ts = MCTaskSet(
+            [MCTask.from_utilizations([0.2], 10.0) for _ in range(2)], levels=1
+        )
+        res = CATPAVariant(selection="worst-fit", alpha=None).partition(ts, cores=2)
+        assert res.partition.core_of(0) != res.partition.core_of(1)
+
+
+class TestRegistry:
+    def test_paper_schemes_resolvable(self):
+        for name in ("ca-tpa", "ffd", "bfd", "wfd", "hybrid"):
+            assert get_partitioner(name).name == name
+
+    def test_unknown_scheme(self):
+        with pytest.raises(PartitionError, match="unknown scheme"):
+            get_partitioner("does-not-exist")
+
+    def test_available_schemes_lists_paper_first(self):
+        names = available_schemes()
+        assert names[:5] == ["ca-tpa", "ffd", "bfd", "wfd", "hybrid"]
+
+    def test_register_and_duplicate_rejected(self):
+        class Dummy(CATPA):
+            name = "dummy-test-scheme"
+
+        try:
+            register("dummy-test-scheme", Dummy)
+            assert isinstance(get_partitioner("dummy-test-scheme"), Dummy)
+            with pytest.raises(PartitionError, match="already registered"):
+                register("dummy-test-scheme", Dummy)
+        finally:
+            from repro.partition import registry
+
+            registry._REGISTRY.pop("dummy-test-scheme", None)
+
+    def test_top_level_wrapper(self):
+        import repro
+
+        ts = MCTaskSet(
+            [MCTask.from_utilizations([0.3], 10.0) for _ in range(2)], levels=1
+        )
+        res = repro.partition_taskset(ts, cores=2, scheme="ffd")
+        assert res.schedulable

@@ -1,0 +1,195 @@
+"""Tests for the CA-TPA heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    core_utilization,
+    is_feasible_partition,
+    utilization_contributions,
+)
+from repro.model import MCTask, MCTaskSet
+from repro.partition import CATPA, FirstFitDecreasing, get_partitioner
+from repro.types import PartitionError
+
+
+def mc(lo_u, hi_u=None, period=10.0, name=""):
+    utils = [lo_u] if hi_u is None else [lo_u, hi_u]
+    return MCTask.from_utilizations(utils, period, name=name)
+
+
+class TestOrdering:
+    def test_orders_by_contribution_not_max_utilization(self):
+        # HI task with modest max utilization but dominant share of U(2).
+        ts = MCTaskSet(
+            [
+                mc(0.50),            # max-u order would put this first
+                mc(0.05, 0.30),      # sole HI task: contribution 1.0 at level 2
+                mc(0.20),
+            ],
+            levels=2,
+        )
+        contrib = utilization_contributions(ts)
+        assert contrib[1] == pytest.approx(1.0)
+        assert CATPA().order_tasks(ts) == [1, 0, 2]
+
+
+class TestSelection:
+    def test_min_increment_balances_two_hi_tasks(self):
+        # Two identical HI-heavy tasks: the second must go to the empty
+        # core, because joining the first core would raise that core's
+        # utilization by more than seeding the empty one.
+        ts = MCTaskSet([mc(0.2, 0.5), mc(0.2, 0.5)], levels=2)
+        res = CATPA().partition(ts, cores=2)
+        assert res.schedulable
+        assert res.partition.core_of(0) == 0
+        assert res.partition.core_of(1) == 1
+
+    def test_mixing_criticalities_reduces_increment(self):
+        # A LO task can hide under a HI task's slack: U^{Psi} of a core
+        # with one HI task is min(U_2(2), U_2(1)/(1-U_2(2))); adding a LO
+        # task to the *other* core would cost its full utilization there,
+        # while here the min-term may keep the increase smaller.
+        hi = mc(0.10, 0.60, name="hi")
+        lo = mc(0.25, name="lo")
+        ts = MCTaskSet([hi, lo], levels=2)
+        res = CATPA(alpha=None).partition(ts, cores=2)
+        assert res.schedulable
+        # Core 0 with hi: U = min(0.6, 0.1/0.4) = 0.25.
+        # Probe lo on core 0: U = 0.25 + min(0.6, 0.25) = 0.5 -> delta 0.25
+        # Probe lo on core 1: U = 0.25 -> delta 0.25; tie -> core 0.
+        assert res.partition.core_of(1) == 0
+
+    def test_tie_breaks_to_lower_core_index(self):
+        ts = MCTaskSet([mc(0.3), mc(0.3)], levels=1)
+        res = CATPA(alpha=None).partition(ts, cores=3)
+        # Both tasks see identical increments on all empty cores; second
+        # task's increment on core 0 (0.3 -> 0.6) equals 0.3 as well.
+        assert res.partition.core_of(0) == 0
+        assert res.partition.core_of(1) == 0
+
+    def test_failure_reported(self):
+        ts = MCTaskSet([mc(0.9), mc(0.9), mc(0.9)], levels=1)
+        res = CATPA().partition(ts, cores=2)
+        assert not res.schedulable
+        assert res.failed_task is not None
+
+
+class TestImbalanceOverride:
+    def test_alpha_zero_forces_spreading(self):
+        # With alpha = 0 any imbalance triggers the min-utilization rule,
+        # so CA-TPA behaves like worst-fit and spreads.
+        ts = MCTaskSet([mc(0.3), mc(0.3), mc(0.2)], levels=1)
+        spread = CATPA(alpha=0.0).partition(ts, cores=2)
+        packed = CATPA(alpha=None).partition(ts, cores=2)
+        assert spread.schedulable and packed.schedulable
+        sizes_spread = sorted(len(spread.partition.tasks_on(m)) for m in range(2))
+        sizes_packed = sorted(len(packed.partition.tasks_on(m)) for m in range(2))
+        assert sizes_spread == [1, 2]
+        assert sizes_packed == [0, 3]
+
+    def test_alpha_none_disables_override(self):
+        ts = MCTaskSet([mc(0.4), mc(0.3), mc(0.2)], levels=1)
+        res = CATPA(alpha=None).partition(ts, cores=4)
+        # pure min-increment packs everything onto core 0 (0.9 total)
+        assert res.partition.tasks_on(0) == [0, 1, 2]
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(PartitionError):
+            CATPA(alpha=-0.1)
+
+    def test_large_alpha_equivalent_to_disabled(self, rng):
+        from tests.conftest import random_taskset
+
+        for _ in range(30):
+            ts = random_taskset(rng, n=10, levels=3, max_u=0.2)
+            a = CATPA(alpha=10.0).partition(ts, cores=4)
+            b = CATPA(alpha=None).partition(ts, cores=4)
+            # alpha >= 1 can only differ on the empty-core Lambda == 1
+            # edge; with at least one empty core Lambda is exactly 1,
+            # never > 10, so these agree.
+            assert a.schedulable == b.schedulable
+            np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+class TestResultMetrics:
+    def test_tracked_core_utils_match_recomputed(self, rng):
+        from tests.conftest import random_taskset
+
+        checked = 0
+        for _ in range(40):
+            ts = random_taskset(rng, n=8, levels=3, max_u=0.2)
+            res = CATPA().partition(ts, cores=3)
+            if not res.schedulable:
+                continue
+            checked += 1
+            expected = np.array(
+                [core_utilization(res.partition.level_matrix(m)) for m in range(3)]
+            )
+            np.testing.assert_allclose(res.core_utilizations(), expected, atol=1e-9)
+        assert checked > 5
+
+    def test_schedulable_results_are_feasible(self, rng):
+        from tests.conftest import random_taskset
+
+        ok = 0
+        for _ in range(60):
+            ts = random_taskset(rng, n=10, levels=4, max_u=0.2)
+            res = CATPA().partition(ts, cores=4)
+            if res.schedulable:
+                ok += 1
+                assert is_feasible_partition(res.partition)
+        assert ok > 5
+
+
+class TestVsBaselines:
+    def test_beats_ffd_on_criticality_skewed_instance(self, rng):
+        """There exist instances where FFD fails and CA-TPA succeeds.
+
+        This is the phenomenon of the paper's Tables I-III; we find such
+        an instance by seeded random search so the test is deterministic.
+        """
+        from tests.conftest import random_taskset
+
+        wins = 0
+        for _ in range(400):
+            ts = random_taskset(rng, n=6, levels=2, max_u=0.45)
+            ffd = FirstFitDecreasing().partition(ts, cores=2)
+            ca = CATPA().partition(ts, cores=2)
+            if ca.schedulable and not ffd.schedulable:
+                wins += 1
+        assert wins > 0
+
+    def test_registry_round_trip(self):
+        p = get_partitioner("ca-tpa", alpha=0.3)
+        assert isinstance(p, CATPA)
+        assert p.alpha == 0.3
+
+
+class TestEq9Rule:
+    def test_invalid_rule_rejected(self):
+        with pytest.raises(PartitionError):
+            CATPA(eq9_rule="median")
+
+    def test_rules_identical_for_dual_criticality(self, rng):
+        # K=2 has a single Theorem-1 condition, so min == max.
+        from tests.conftest import random_taskset
+
+        for _ in range(30):
+            ts = random_taskset(rng, n=8, levels=2, max_u=0.3)
+            a = CATPA(eq9_rule="max").partition(ts, cores=3)
+            b = CATPA(eq9_rule="min").partition(ts, cores=3)
+            assert a.schedulable == b.schedulable
+            np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_min_rule_results_still_feasible(self, rng):
+        from tests.conftest import random_taskset
+
+        ok = 0
+        for _ in range(40):
+            ts = random_taskset(rng, n=8, levels=4, max_u=0.2)
+            res = CATPA(eq9_rule="min").partition(ts, cores=3)
+            if res.schedulable:
+                ok += 1
+                assert is_feasible_partition(res.partition)
+        assert ok > 5

@@ -1,0 +1,125 @@
+"""Tests for FFD/BFD/WFD heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import is_feasible_partition
+from repro.model import MCTask, MCTaskSet
+from repro.partition import (
+    BestFitDecreasing,
+    FirstFitDecreasing,
+    WorstFitDecreasing,
+)
+
+
+def lo(u, period=10.0, name=""):
+    return MCTask.from_utilizations([u], period, name=name)
+
+
+class TestOrdering:
+    def test_decreasing_max_utilization(self):
+        ts = MCTaskSet(
+            [lo(0.2), MCTask.from_utilizations([0.1, 0.5], 10.0), lo(0.3)],
+            levels=2,
+        )
+        assert FirstFitDecreasing().order_tasks(ts) == [1, 2, 0]
+
+    def test_tie_prefers_higher_criticality(self):
+        ts = MCTaskSet(
+            [lo(0.25), MCTask.from_utilizations([0.125, 0.25], 10.0)],
+            levels=2,
+        )
+        assert FirstFitDecreasing().order_tasks(ts) == [1, 0]
+
+
+class TestFFD:
+    def test_packs_first_core_first(self):
+        ts = MCTaskSet([lo(0.4), lo(0.3), lo(0.2)], levels=1)
+        res = FirstFitDecreasing().partition(ts, cores=2)
+        assert res.schedulable
+        # 0.4 + 0.3 + 0.2 = 0.9 all fit on core 0
+        assert res.partition.tasks_on(0) == [0, 1, 2]
+        assert res.partition.tasks_on(1) == []
+
+    def test_overflows_to_next_core(self):
+        ts = MCTaskSet([lo(0.7), lo(0.6), lo(0.3)], levels=1)
+        res = FirstFitDecreasing().partition(ts, cores=2)
+        assert res.schedulable
+        assert res.partition.tasks_on(0) == [0, 2]  # 0.7 then 0.3
+        assert res.partition.tasks_on(1) == [1]
+
+    def test_failure_reports_task(self):
+        ts = MCTaskSet([lo(0.9), lo(0.8), lo(0.5)], levels=1)
+        res = FirstFitDecreasing().partition(ts, cores=2)
+        assert not res.schedulable
+        assert res.failed_task == 2  # 0.9 and 0.8 fill both cores
+        # the partial partition is still exposed
+        assert res.partition.core_of(0) == 0
+        assert res.partition.core_of(2) == -1
+
+
+class TestBFDvsWFD:
+    def test_bfd_packs_wfd_spreads(self):
+        # BFD keeps stacking the fullest feasible core: 0.5 and 0.4 both
+        # land on core 0, and 0.3 overflows to core 1.  WFD alternates.
+        ts = MCTaskSet([lo(0.5), lo(0.4), lo(0.3)], levels=1)
+        bfd = BestFitDecreasing().partition(ts, cores=2)
+        wfd = WorstFitDecreasing().partition(ts, cores=2)
+        assert bfd.partition.core_subsets() == [[0, 1], [2]]
+        assert wfd.partition.core_of(1) == 1
+        assert wfd.partition.core_of(2) == 1  # min load 0.4 < 0.5
+
+    def test_wfd_seeds_second_core(self):
+        ts = MCTaskSet([lo(0.5), lo(0.4)], levels=1)
+        res = WorstFitDecreasing().partition(ts, cores=2)
+        assert res.partition.core_of(0) == 0
+        assert res.partition.core_of(1) == 1
+
+    def test_bfd_respects_feasibility(self):
+        # Fuller core can't take the task -> falls back to the other.
+        ts = MCTaskSet([lo(0.8), lo(0.5), lo(0.4)], levels=1)
+        res = BestFitDecreasing().partition(ts, cores=2)
+        assert res.schedulable
+        assert res.partition.core_of(2) == 1  # 0.8 + 0.4 > 1
+
+    def test_wfd_fails_where_ffd_succeeds(self):
+        # The classical WFD pathology: spreading leaves no core with
+        # enough room for the tail.
+        ts = MCTaskSet([lo(0.6), lo(0.6), lo(0.4), lo(0.4)], levels=1)
+        assert FirstFitDecreasing().partition(ts, cores=2).schedulable
+        wfd = WorstFitDecreasing().partition(ts, cores=2)
+        assert wfd.schedulable  # 0.6/0.6 split then 0.4/0.4 -> fits!
+        # FFD packs {0.5, 0.5} + {0.34, 0.33, 0.33}; WFD's balanced
+        # prefix (0.84 / 0.83) leaves no room for the last 0.33.
+        ts2 = MCTaskSet([lo(0.5), lo(0.5), lo(0.34), lo(0.33), lo(0.33)], levels=1)
+        ffd2 = FirstFitDecreasing().partition(ts2, cores=2)
+        wfd2 = WorstFitDecreasing().partition(ts2, cores=2)
+        assert ffd2.schedulable
+        assert not wfd2.schedulable
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "scheme", [FirstFitDecreasing, BestFitDecreasing, WorstFitDecreasing]
+    )
+    def test_schedulable_results_are_feasible(self, scheme, rng):
+        from tests.conftest import random_taskset
+
+        ok = 0
+        for _ in range(60):
+            ts = random_taskset(rng, n=10, levels=3, max_u=0.25)
+            res = scheme().partition(ts, cores=4)
+            if res.schedulable:
+                ok += 1
+                assert res.partition.is_complete
+                assert is_feasible_partition(res.partition)
+                assert res.failed_task is None
+            else:
+                assert res.failed_task is not None
+                assert not res.partition.is_complete
+        assert ok > 5
+
+    def test_order_is_exposed(self):
+        ts = MCTaskSet([lo(0.2), lo(0.4)], levels=1)
+        res = FirstFitDecreasing().partition(ts, cores=1)
+        assert res.order == (1, 0)

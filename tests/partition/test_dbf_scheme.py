@@ -1,0 +1,69 @@
+"""Tests for the DBF-based partitioned scheme (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.gen import WorkloadConfig, generate_taskset
+from repro.model import MCTask, MCTaskSet
+from repro.partition import DBFFirstFit, FirstFitDecreasing, get_partitioner
+
+
+class TestDBFFirstFit:
+    def test_registered(self):
+        assert isinstance(get_partitioner("dbf-ffd"), DBFFirstFit)
+
+    def test_partitions_a_dual_set(self):
+        ts = MCTaskSet(
+            [
+                MCTask(wcets=(3.0,), period=10.0),
+                MCTask(wcets=(2.0, 5.0), period=20.0),
+                MCTask(wcets=(4.0,), period=25.0),
+            ],
+            levels=2,
+        )
+        res = DBFFirstFit().partition(ts, cores=2)
+        assert res.schedulable
+
+    def test_accepts_at_least_as_many_as_thm1_ffd(self, rng):
+        cfg = WorkloadConfig(cores=2, levels=2, nsu=0.75, task_count_range=(8, 10))
+        dbf = DBFFirstFit()
+        ffd = FirstFitDecreasing()
+        dbf_ok = ffd_ok = 0
+        for i in range(40):
+            r = np.random.default_rng(np.random.SeedSequence(21, spawn_key=(i,)))
+            ts = generate_taskset(cfg, r)
+            dbf_ok += dbf.partition(ts, 2).schedulable
+            ffd_ok += ffd.partition(ts, 2).schedulable
+        assert dbf_ok >= ffd_ok - 1  # finer test; allow 1 tuning artefact
+
+    def test_falls_back_to_theorem1_for_k3(self):
+        ts = MCTaskSet(
+            [
+                MCTask(wcets=(2.0,), period=10.0),
+                MCTask(wcets=(1.0, 2.0, 4.0), period=20.0),
+            ],
+            levels=3,
+        )
+        res = DBFFirstFit().partition(ts, cores=1)
+        assert res.schedulable
+
+    def test_core_plans_simulatable(self):
+        from repro.sched import CoreSimulator, RandomScenario
+
+        ts = MCTaskSet(
+            [
+                MCTask(wcets=(3.0,), period=10.0),
+                MCTask(wcets=(2.0, 6.0), period=20.0),
+                MCTask(wcets=(1.0, 3.0), period=25.0),
+            ],
+            levels=2,
+        )
+        scheme = DBFFirstFit()
+        res = scheme.partition(ts, cores=1)
+        assert res.schedulable
+        plans = scheme.core_plans(res.partition)
+        assert plans[0] is not None
+        report = CoreSimulator(
+            ts, plans[0], RandomScenario(0.5), np.random.default_rng(1), 2000.0
+        ).run()
+        assert report.miss_count == 0

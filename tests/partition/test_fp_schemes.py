@@ -1,0 +1,133 @@
+"""Tests for the partitioned fixed-priority schemes."""
+
+import numpy as np
+import pytest
+
+from repro.gen import WorkloadConfig, generate_taskset
+from repro.model import MCTask, MCTaskSet
+from repro.partition import FPPartitioner, get_partitioner
+from repro.types import ModelError, PartitionError
+
+
+def dual(rows):
+    return MCTaskSet([MCTask(wcets=w, period=p) for w, p in rows], levels=2)
+
+
+class TestConstruction:
+    def test_registered_variants(self):
+        assert get_partitioner("fp-ff").name == "fp-ff"
+        assert get_partitioner("fp-wf").name == "fp-wf"
+        assert get_partitioner("fp-ff-ca").name == "fp-ff-ca"
+
+    def test_invalid_options(self):
+        with pytest.raises(PartitionError):
+            FPPartitioner(order="nope")
+        with pytest.raises(PartitionError):
+            FPPartitioner(fit="nope")
+
+    def test_k3_rejected(self):
+        ts = MCTaskSet([MCTask(wcets=(1.0, 2.0, 3.0), period=10.0)], levels=3)
+        with pytest.raises(ModelError):
+            FPPartitioner().partition(ts, cores=1)
+
+
+class TestOrdering:
+    def test_utilization_order(self):
+        ts = dual([((1.0,), 10.0), ((4.0,), 10.0), ((1.0, 3.0), 10.0)])
+        assert FPPartitioner(order="utilization").order_tasks(ts) == [1, 2, 0]
+
+    def test_criticality_order(self):
+        ts = dual([((4.0,), 10.0), ((1.0, 3.0), 10.0)])
+        assert FPPartitioner(order="criticality").order_tasks(ts) == [1, 0]
+
+
+class TestAllocation:
+    def test_simple_partition(self):
+        ts = dual(
+            [
+                ((3.0,), 10.0),
+                ((2.0, 5.0), 20.0),
+                ((4.0,), 25.0),
+                ((2.0, 4.0), 40.0),
+            ]
+        )
+        res = FPPartitioner().partition(ts, cores=2)
+        assert res.schedulable
+
+    def test_worst_fit_spreads(self):
+        ts = dual([((4.0,), 10.0), ((4.0,), 10.0)])
+        res = FPPartitioner(fit="worst").partition(ts, cores=2)
+        assert res.partition.core_of(0) != res.partition.core_of(1)
+
+    def test_first_fit_packs(self):
+        ts = dual([((3.0,), 10.0), ((3.0,), 10.0)])
+        res = FPPartitioner(fit="first").partition(ts, cores=2)
+        assert res.partition.tasks_on(0) == [0, 1]
+
+    def test_core_assignments_cover_partition(self):
+        ts = dual(
+            [((3.0,), 10.0), ((2.0, 5.0), 20.0), ((4.0,), 25.0)]
+        )
+        scheme = FPPartitioner()
+        res = scheme.partition(ts, cores=2)
+        assert res.schedulable
+        assignments = scheme.core_assignments(res.partition)
+        for m in range(2):
+            idx = res.partition.tasks_on(m)
+            if idx:
+                assert assignments[m] is not None
+                assert sorted(assignments[m].priorities) == list(
+                    range(len(idx))
+                )
+            else:
+                assert assignments[m] is None
+
+
+class TestVsEDFVD:
+    def test_edfvd_and_fp_are_incomparable_but_close(self, rng):
+        """Eq. (7) (utilization-based, dynamic priorities) and AMC-rtb
+        (response-time-based, static priorities) are *incomparable*
+        sufficient tests: on these workloads AMC-rtb+Audsley actually
+        edges out the Eq.-(7) FFD slightly.  Pin the qualitative fact
+        that both accept a comparable, non-trivial share."""
+        cfg = WorkloadConfig(cores=2, levels=2, nsu=0.75, task_count_range=(8, 12))
+        edf = get_partitioner("ffd")
+        fp = get_partitioner("fp-ff")
+        edf_ok = fp_ok = 0
+        for i in range(50):
+            r = np.random.default_rng(np.random.SeedSequence(31, spawn_key=(i,)))
+            ts = generate_taskset(cfg, r)
+            edf_ok += edf.partition(ts, 2).schedulable
+            fp_ok += fp.partition(ts, 2).schedulable
+        assert edf_ok > 25 and fp_ok > 25
+        assert abs(edf_ok - fp_ok) <= 10
+
+    def test_end_to_end_fp_partition_simulates_clean(self):
+        from repro.sched import LevelScenario
+        from repro.sched.fp_sim import fp_core_simulator
+
+        ts = dual(
+            [
+                ((3.0,), 10.0),
+                ((2.0, 5.0), 20.0),
+                ((4.0,), 25.0),
+                ((2.0, 4.0), 40.0),
+            ]
+        )
+        scheme = FPPartitioner()
+        res = scheme.partition(ts, cores=2)
+        assert res.schedulable
+        assignments = scheme.core_assignments(res.partition)
+        for m in range(2):
+            idx = res.partition.tasks_on(m)
+            if not idx:
+                continue
+            subset = ts.subset(idx)
+            report = fp_core_simulator(
+                subset,
+                assignments[m],
+                LevelScenario(2),
+                np.random.default_rng(m),
+                1000.0,
+            ).run()
+            assert report.miss_count == 0

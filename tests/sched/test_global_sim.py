@@ -1,0 +1,129 @@
+"""Tests for the global multiprocessor simulator."""
+
+import numpy as np
+import pytest
+
+from repro.model import MCTask, MCTaskSet
+from repro.sched import (
+    GlobalSimulator,
+    HonestScenario,
+    LevelScenario,
+    SporadicReleases,
+    dual_global_plan,
+)
+from repro.types import ModelError, SimulationError
+
+
+def dual(rows):
+    return MCTaskSet([MCTask(wcets=w, period=p) for w, p in rows], levels=2)
+
+
+def sim(ts, processors, scenario, horizon=400.0, x=0.5, seed=0, releases=None):
+    return GlobalSimulator(
+        ts,
+        processors,
+        dual_global_plan(ts, x),
+        scenario,
+        np.random.default_rng(seed),
+        horizon,
+        releases=releases,
+    )
+
+
+class TestBasics:
+    def test_two_processors_run_in_parallel(self):
+        # Two always-ready tasks, one CPU each: both complete everything.
+        ts = dual([((5.0,), 10.0), ((5.0,), 10.0)])
+        report = sim(ts, 2, HonestScenario(), 100.0).run()
+        assert report.miss_count == 0
+        assert report.busy_time == pytest.approx(100.0)
+
+    def test_uniprocessor_case_matches_load(self):
+        ts = dual([((2.0,), 10.0), ((3.0,), 15.0)])
+        report = sim(ts, 1, HonestScenario(), 300.0).run()
+        assert report.miss_count == 0
+        assert report.busy_time == pytest.approx(300.0 * (0.2 + 0.2))
+
+    def test_dhall_effect_observable(self):
+        # Classic Dhall pathology: m short-deadline light tasks occupy
+        # all CPUs at t=0, so the heavy task (deadline 11, demand 10)
+        # starts at t=2 and completes at 12 > 11 — a miss despite total
+        # utilization 1.31 << m=2.  GFB correctly rejects this set.
+        from repro.analysis import gfb_edf_schedulable
+
+        ts = dual(
+            [
+                ((2.0,), 10.0),
+                ((2.0,), 10.0),
+                ((10.0,), 11.0),
+            ]
+        )
+        assert not gfb_edf_schedulable(
+            [t.max_utilization for t in ts], 2
+        )
+        report = sim(ts, 2, HonestScenario(), 50.0, x=1.0).run()
+        assert report.miss_count >= 1
+        assert any(m.task_index == 2 for m in report.misses)
+
+    def test_invalid_processor_count(self):
+        ts = dual([((1.0,), 10.0)])
+        with pytest.raises(SimulationError):
+            GlobalSimulator(
+                ts, 0, dual_global_plan(ts, 0.5), HonestScenario(),
+                np.random.default_rng(0), 10.0,
+            )
+
+    def test_plan_level_mismatch(self):
+        ts = dual([((1.0,), 10.0)])
+        three = MCTaskSet([MCTask(wcets=(1.0, 2.0, 3.0), period=10.0)], levels=3)
+        plan = dual_global_plan(ts, 0.5)
+        with pytest.raises(SimulationError):
+            GlobalSimulator(
+                three, 2, plan, HonestScenario(), np.random.default_rng(0), 10.0
+            )
+
+    def test_bad_x_factor(self):
+        ts = dual([((1.0,), 10.0)])
+        with pytest.raises(ModelError):
+            dual_global_plan(ts, 0.0)
+        with pytest.raises(ModelError):
+            dual_global_plan(ts, 1.5)
+
+
+class TestModeBehaviour:
+    def overload_set(self):
+        return dual(
+            [
+                ((2.0,), 10.0),
+                ((2.0,), 15.0),
+                ((2.0, 5.0), 20.0),
+                ((2.0, 6.0), 25.0),
+            ]
+        )
+
+    def test_system_wide_mode_switch_drops_lo(self):
+        report = sim(self.overload_set(), 2, LevelScenario(2), 1000.0).run()
+        assert report.mode_switches >= 1
+        assert report.dropped >= 1
+        assert report.max_mode == 2
+        assert report.miss_count == 0
+
+    def test_idle_reset_recovers(self):
+        report = sim(self.overload_set(), 2, LevelScenario(2), 1000.0).run()
+        assert report.idle_resets >= 1
+
+    def test_honest_never_switches(self):
+        report = sim(self.overload_set(), 2, HonestScenario(), 1000.0).run()
+        assert report.mode_switches == 0
+        assert report.miss_count == 0
+
+    def test_sporadic_releases_supported(self):
+        report = sim(
+            self.overload_set(),
+            2,
+            LevelScenario(2),
+            1000.0,
+            releases=SporadicReleases(max_delay=0.4),
+        ).run()
+        assert report.miss_count == 0
+        assert report.released > 0

@@ -1,0 +1,90 @@
+"""Tests for the execution-time scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.model import MCTask
+from repro.sched import (
+    FaultyScenario,
+    HonestScenario,
+    LevelScenario,
+    RandomScenario,
+)
+from repro.types import SimulationError
+
+
+@pytest.fixture
+def hi_task():
+    return MCTask(wcets=(2.0, 5.0, 9.0), period=20.0)
+
+
+@pytest.fixture
+def lo_task():
+    return MCTask(wcets=(4.0,), period=20.0)
+
+
+class TestHonest:
+    def test_full_lo_budget(self, hi_task, rng):
+        assert HonestScenario().draw(hi_task, rng) == 2.0
+
+    def test_fraction(self, hi_task, rng):
+        assert HonestScenario(0.5).draw(hi_task, rng) == 1.0
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.1])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(SimulationError):
+            HonestScenario(fraction)
+
+
+class TestLevel:
+    def test_targets_requested_level(self, hi_task, rng):
+        assert LevelScenario(2).draw(hi_task, rng) == 5.0
+
+    def test_caps_at_own_criticality(self, lo_task, rng):
+        assert LevelScenario(3).draw(lo_task, rng) == 4.0
+
+    def test_invalid_target(self):
+        with pytest.raises(SimulationError):
+            LevelScenario(0)
+
+
+class TestRandom:
+    def test_zero_probability_stays_in_lo_band(self, hi_task, rng):
+        scenario = RandomScenario(overrun_prob=0.0)
+        for _ in range(50):
+            assert 0.0 < scenario.draw(hi_task, rng) <= 2.0
+
+    def test_one_probability_always_escalates_to_top(self, hi_task, rng):
+        scenario = RandomScenario(overrun_prob=1.0)
+        for _ in range(50):
+            e = scenario.draw(hi_task, rng)
+            assert 5.0 < e <= 9.0  # strictly above the level-2 budget
+
+    def test_never_exceeds_own_wcet(self, hi_task, rng):
+        scenario = RandomScenario(overrun_prob=0.5)
+        draws = [scenario.draw(hi_task, rng) for _ in range(300)]
+        assert max(draws) <= hi_task.wcet(3)
+        assert min(draws) > 0.0
+
+    def test_escalation_band_boundaries_respected(self, hi_task, rng):
+        # Every draw must be a genuine member of exactly one band:
+        # either <= c(1), in (c(1), c(2)], or in (c(2), c(3)].
+        scenario = RandomScenario(overrun_prob=0.5)
+        for _ in range(300):
+            e = scenario.draw(hi_task, rng)
+            assert e <= 2.0 or 2.0 < e <= 5.0 or 5.0 < e <= 9.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(SimulationError):
+            RandomScenario(-0.1)
+        with pytest.raises(SimulationError):
+            RandomScenario(1.5)
+
+
+class TestFaulty:
+    def test_exceeds_top_wcet(self, hi_task, rng):
+        assert FaultyScenario(excess=0.5).draw(hi_task, rng) == pytest.approx(13.5)
+
+    def test_invalid_excess(self):
+        with pytest.raises(SimulationError):
+            FaultyScenario(excess=0.0)

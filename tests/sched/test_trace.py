@@ -1,0 +1,111 @@
+"""Tests for execution tracing and the ASCII timeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import assign_virtual_deadlines
+from repro.model import MCTask, MCTaskSet
+from repro.sched import (
+    CoreSimulator,
+    EventKind,
+    HonestScenario,
+    LevelScenario,
+    render_timeline,
+)
+
+
+def traced_run(tasks, scenario, horizon=100.0, levels=None):
+    subset = MCTaskSet(tasks, levels=levels)
+    plan = assign_virtual_deadlines(subset)
+    assert plan is not None
+    sim = CoreSimulator(
+        subset, plan, scenario, np.random.default_rng(0), horizon, record_trace=True
+    )
+    return subset, sim.run()
+
+
+class TestTraceRecording:
+    def test_disabled_by_default(self):
+        subset = MCTaskSet([MCTask(wcets=(1.0,), period=10.0)])
+        plan = assign_virtual_deadlines(subset)
+        report = CoreSimulator(
+            subset, plan, HonestScenario(), np.random.default_rng(0), 50.0
+        ).run()
+        assert report.trace is None
+
+    def test_releases_and_completions_counted(self):
+        _, report = traced_run([MCTask(wcets=(2.0,), period=10.0)], HonestScenario())
+        trace = report.trace
+        assert len(trace.events_of(EventKind.RELEASE)) == report.released
+        assert len(trace.events_of(EventKind.COMPLETE)) == report.completed
+        assert not trace.events_of(EventKind.MISS)
+
+    def test_slice_busy_time_matches_report(self):
+        _, report = traced_run(
+            [MCTask(wcets=(2.0,), period=10.0), MCTask(wcets=(3.0,), period=15.0)],
+            HonestScenario(),
+        )
+        assert report.trace.busy_time() == pytest.approx(report.busy_time)
+
+    def test_slices_are_ordered_and_disjoint(self):
+        _, report = traced_run(
+            [MCTask(wcets=(2.0,), period=10.0), MCTask(wcets=(6.0,), period=15.0)],
+            HonestScenario(),
+        )
+        slices = report.trace.slices
+        for a, b in zip(slices, slices[1:]):
+            assert a.end <= b.start + 1e-9
+            assert a.duration > 0
+
+    def test_mode_events_recorded(self):
+        _, report = traced_run(
+            [
+                MCTask(wcets=(2.0,), period=10.0),
+                MCTask(wcets=(2.0, 5.0), period=20.0),
+            ],
+            LevelScenario(target=2),
+            horizon=200.0,
+            levels=2,
+        )
+        trace = report.trace
+        assert len(trace.events_of(EventKind.MODE_UP)) == report.mode_switches
+        assert len(trace.events_of(EventKind.IDLE_RESET)) == report.idle_resets
+        assert len(trace.events_of(EventKind.DROP)) == report.dropped
+        # MODE_UP events carry the new (raised) mode.
+        assert all(e.mode == 2 for e in trace.events_of(EventKind.MODE_UP))
+
+    def test_preemption_splits_slices(self):
+        # Long low-priority job is preempted by periodic short releases.
+        _, report = traced_run(
+            [MCTask(wcets=(2.0,), period=10.0), MCTask(wcets=(12.0,), period=40.0)],
+            HonestScenario(),
+        )
+        long_job_slices = [
+            s for s in report.trace.slices if s.task_index == 1 and s.start < 40.0
+        ]
+        assert len(long_job_slices) >= 2  # preempted at t=10 releases
+
+
+class TestTimeline:
+    def test_render_contains_all_rows(self):
+        _, report = traced_run(
+            [MCTask(wcets=(2.0,), period=10.0), MCTask(wcets=(3.0,), period=15.0)],
+            HonestScenario(),
+        )
+        art = render_timeline(report.trace, n_tasks=2, until=50.0, width=50)
+        lines = art.splitlines()
+        assert len(lines) == 3  # two task rows + mode row
+        assert "#" in lines[0] and "#" in lines[1]
+
+    def test_mode_markers_appear(self):
+        _, report = traced_run(
+            [
+                MCTask(wcets=(2.0,), period=10.0),
+                MCTask(wcets=(2.0, 5.0), period=20.0),
+            ],
+            LevelScenario(target=2),
+            horizon=200.0,
+            levels=2,
+        )
+        art = render_timeline(report.trace, n_tasks=2, until=200.0, width=100)
+        assert "^" in art  # at least one mode switch marker

@@ -1,0 +1,126 @@
+"""End-to-end validation: Theorem-1-feasible subsets never miss deadlines.
+
+This is the strongest correctness check in the repository: the
+reconstructed analysis (lambda recurrence, min-term branch, deadline
+scaling protocol) and the simulator (EDF-VD priorities, AMC mode
+switches, drops, idle resets) must agree — any job the protocol does not
+drop must meet its original deadline, under *every* model-conformant
+execution scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import assign_virtual_deadlines
+from repro.model import MCTask, MCTaskSet
+from repro.sched import (
+    CoreSimulator,
+    HonestScenario,
+    LevelScenario,
+    RandomScenario,
+)
+
+
+def random_feasible_subset(rng, levels, n_tasks=4, max_u=0.25):
+    """Rejection-sample a Theorem-1-feasible subset."""
+    from tests.conftest import random_taskset
+
+    for _ in range(200):
+        ts = random_taskset(rng, n=n_tasks, levels=levels, max_u=max_u)
+        if assign_virtual_deadlines(ts) is not None:
+            return ts
+    raise AssertionError("could not sample a feasible subset")
+
+
+SCENARIOS = [
+    HonestScenario(),
+    HonestScenario(fraction=0.6),
+    RandomScenario(overrun_prob=0.2),
+    RandomScenario(overrun_prob=0.8),
+]
+
+
+class TestNoMissesWhenFeasible:
+    @pytest.mark.parametrize("levels", [2, 3, 4, 5])
+    def test_random_subsets_random_scenarios(self, levels, rng):
+        for trial in range(15):
+            subset = random_feasible_subset(rng, levels)
+            plan = assign_virtual_deadlines(subset)
+            scenario = SCENARIOS[trial % len(SCENARIOS)]
+            horizon = 30.0 * max(t.period for t in subset)
+            report = CoreSimulator(
+                subset, plan, scenario, np.random.default_rng(trial), horizon
+            ).run()
+            assert report.miss_count == 0, (
+                f"K={levels} trial={trial} scenario={type(scenario).__name__}: "
+                f"{report.misses[:3]}"
+            )
+
+    @pytest.mark.parametrize("levels", [2, 3, 4])
+    def test_level_scenarios_drive_every_mode(self, levels, rng):
+        """Force the core through each mode in turn; never a miss."""
+        for target in range(1, levels + 1):
+            for trial in range(8):
+                subset = random_feasible_subset(rng, levels)
+                plan = assign_virtual_deadlines(subset)
+                horizon = 30.0 * max(t.period for t in subset)
+                report = CoreSimulator(
+                    subset,
+                    plan,
+                    LevelScenario(target=target),
+                    np.random.default_rng(trial),
+                    horizon,
+                ).run()
+                assert report.miss_count == 0, (
+                    f"K={levels} target={target} trial={trial}: "
+                    f"{report.misses[:3]}"
+                )
+                assert report.max_mode <= levels
+
+    def test_tight_dual_instance(self):
+        """A dual-criticality set at the Eq. (7) boundary survives the
+        worst model-conformant behaviour."""
+        # U_1(1) = 0.4, U_2(1) = 0.18, U_2(2) = 0.7:
+        # demand = 0.4 + min(0.7, 0.18/0.3 = 0.6) = 1.0 exactly.
+        subset = MCTaskSet(
+            [
+                MCTask.from_utilizations([0.2], 10.0),
+                MCTask.from_utilizations([0.2], 25.0),
+                MCTask.from_utilizations([0.09, 0.35], 20.0),
+                MCTask.from_utilizations([0.09, 0.35], 40.0),
+            ],
+            levels=2,
+        )
+        plan = assign_virtual_deadlines(subset)
+        assert plan is not None
+        for scenario in (
+            HonestScenario(),
+            LevelScenario(target=2),
+            RandomScenario(overrun_prob=0.5),
+        ):
+            report = CoreSimulator(
+                subset, plan, scenario, np.random.default_rng(3), 4000.0
+            ).run()
+            assert report.miss_count == 0, type(scenario).__name__
+
+    def test_pivot_two_protocol(self):
+        """A K=3 subset with k* = 2 (staged lambda shrinking) holds up."""
+        subset = MCTaskSet(
+            [
+                MCTask.from_utilizations([0.90], 50.0),
+                MCTask.from_utilizations([0.010, 0.15], 60.0),
+                MCTask.from_utilizations([0.005, 0.01, 0.05], 70.0),
+            ],
+            levels=3,
+        )
+        plan = assign_virtual_deadlines(subset)
+        assert plan is not None and plan.k_star == 2
+        for target in (1, 2, 3):
+            report = CoreSimulator(
+                subset,
+                plan,
+                LevelScenario(target=target),
+                np.random.default_rng(0),
+                6000.0,
+            ).run()
+            assert report.miss_count == 0, f"target={target}: {report.misses[:3]}"

@@ -1,0 +1,119 @@
+"""Tests for the elastic MC extension."""
+
+import numpy as np
+import pytest
+
+from repro.elastic import (
+    ElasticMCTask,
+    elastic_admission,
+    stretch_taskset,
+)
+from repro.model import MCTask
+from repro.partition import CATPA
+from repro.types import ModelError
+
+
+def elastic(u, period=10.0, max_stretch=2.0, hi_u=None):
+    utils = [u] if hi_u is None else [u, hi_u]
+    task = MCTask.from_utilizations(utils, period)
+    return ElasticMCTask(task=task, max_period=period * max_stretch)
+
+
+class TestElasticTask:
+    def test_max_period_below_period_rejected(self):
+        task = MCTask(wcets=(1.0,), period=10.0)
+        with pytest.raises(ModelError):
+            ElasticMCTask(task=task, max_period=5.0)
+
+    def test_stretch_lowers_utilization(self):
+        e = elastic(0.4)
+        assert e.stretched(1.0).utilization(1) == pytest.approx(0.4)
+        assert e.stretched(2.0).utilization(1) == pytest.approx(0.2)
+
+    def test_stretch_clamped_at_max(self):
+        e = elastic(0.4, max_stretch=1.5)
+        assert e.stretched(3.0).period == pytest.approx(15.0)
+
+    def test_inelastic_task_untouched(self):
+        e = elastic(0.4, max_stretch=1.0)
+        assert e.stretched(5.0) is e.task
+
+    def test_stretch_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            elastic(0.4).stretched(0.5)
+
+    def test_service_level(self):
+        e = elastic(0.4, max_stretch=2.0)
+        assert e.service_level(1.0) == 1.0
+        assert e.service_level(2.0) == 0.5
+        assert e.service_level(4.0) == 0.5  # clamped
+
+    def test_wcets_preserved(self):
+        e = elastic(0.4, hi_u=0.8)
+        assert e.stretched(2.0).wcets == e.task.wcets
+
+
+class TestStretchTaskset:
+    def test_builds_ordinary_taskset(self):
+        ts = stretch_taskset([elastic(0.4), elastic(0.6)], 2.0)
+        assert len(ts) == 2
+        assert ts.average_utilization(1) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            stretch_taskset([], 1.0)
+
+
+class TestAdmission:
+    def test_full_service_when_feasible(self):
+        tasks = [elastic(0.3), elastic(0.3)]
+        adm = elastic_admission(tasks, cores=1, partitioner=CATPA())
+        assert adm.admitted
+        assert adm.factor == 1.0
+        assert adm.mean_service_level == 1.0
+
+    def test_degrades_just_enough(self):
+        # Total utilization 1.5 on one core: needs stretch ~1.5.
+        tasks = [elastic(0.5), elastic(0.5), elastic(0.5)]
+        adm = elastic_admission(tasks, cores=1, partitioner=CATPA(), steps=50)
+        assert adm.admitted
+        assert 1.4 <= adm.factor <= 1.7
+        assert adm.result.schedulable
+        # the accepted (stretched) set really is schedulable
+        total = adm.taskset.average_utilization(1)
+        assert total <= 1.0 + 1e-9
+
+    def test_rejects_when_even_max_stretch_insufficient(self):
+        tasks = [elastic(0.9, max_stretch=1.1), elastic(0.9, max_stretch=1.1)]
+        adm = elastic_admission(tasks, cores=1, partitioner=CATPA())
+        assert not adm.admitted
+        assert adm.taskset is None
+        assert adm.result is None
+
+    def test_inelastic_hi_tasks_keep_full_rate(self):
+        hi = ElasticMCTask(
+            task=MCTask.from_utilizations([0.2, 0.5], 10.0), max_period=10.0
+        )
+        lo = elastic(0.8, max_stretch=4.0)
+        adm = elastic_admission([hi, lo], cores=1, partitioner=CATPA(), steps=40)
+        assert adm.admitted
+        assert adm.service_levels[0] == 1.0  # HI keeps its rate
+        assert adm.service_levels[1] < 1.0  # LO pays for admission
+
+    def test_admitted_set_simulates_clean(self):
+        from repro.sched import LevelScenario, SystemSimulator
+
+        hi = ElasticMCTask(
+            task=MCTask.from_utilizations([0.2, 0.5], 20.0), max_period=20.0
+        )
+        tasks = [hi, elastic(0.5, period=25.0), elastic(0.5, period=40.0)]
+        adm = elastic_admission(tasks, cores=1, partitioner=CATPA(), steps=40)
+        assert adm.admitted
+        report = SystemSimulator(
+            adm.result.partition, LevelScenario(2), horizon=4000.0
+        ).run()
+        assert report.all_deadlines_met()
+
+    def test_bad_steps_rejected(self):
+        with pytest.raises(ModelError):
+            elastic_admission([elastic(0.5)], 1, CATPA(), steps=0)

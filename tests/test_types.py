@@ -1,0 +1,74 @@
+"""Tests for the shared types module and the public package surface."""
+
+import math
+
+import pytest
+
+import repro
+from repro.types import (
+    EPS,
+    INFEASIBLE,
+    GenerationError,
+    ModelError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestConstants:
+    def test_eps_is_small_positive(self):
+        assert 0.0 < EPS < 1e-6
+
+    def test_infeasible_is_positive_infinity(self):
+        assert math.isinf(INFEASIBLE) and INFEASIBLE > 0
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ModelError, PartitionError, GenerationError, SimulationError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise PartitionError("x")
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_dunder_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.model",
+            "repro.analysis",
+            "repro.partition",
+            "repro.gen",
+            "repro.sched",
+            "repro.metrics",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_partition_taskset_forwards_kwargs(self):
+        from repro.model import MCTask, MCTaskSet
+
+        ts = MCTaskSet([MCTask(wcets=(1.0,), period=10.0)], levels=1)
+        res = repro.partition_taskset(ts, cores=1, scheme="ca-tpa", alpha=0.2)
+        assert res.schedulable
