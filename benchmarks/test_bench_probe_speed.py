@@ -1,0 +1,150 @@
+"""Theorem-1 probe engine throughput: scalar per-core probing vs batch.
+
+Replays the placement decisions of a CA-TPA run on the Fig.-1 default
+workload (paper parameters, seed 2016) and times every Eq.-(15) probe
+twice on the *identical* partition state: once through the legacy
+scalar path (one ``(K, K)`` candidate matrix and one Theorem-1 chain
+per core — what every scheme did before the batch engine) and once
+through the vectorized batch path (one broadcasted ``(M, K, K)`` stack,
+one NumPy pass).  Each pair of probes is asserted bit-equal, so the
+speedup is measured on provably equivalent work.
+
+An end-to-end ``evaluate_point`` timing of all five schemes under both
+implementations is reported alongside; it is diluted by the
+probe-independent pipeline (task-set generation, sorting, bookkeeping)
+and by the scalar path's lazy early-exit in the feasibility scans, so
+its ratio is much smaller than the probe-engine ratio.
+
+Results land in ``BENCH_partition.json`` at the repo root (schema in
+docs/API.md).  The acceptance gate is the probe-engine throughput.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+
+import numpy as np
+from conftest import bench_sets
+
+from repro.experiments import default_schemes, evaluate_point
+from repro.gen import WorkloadConfig, generate_taskset
+from repro.model import Partition
+from repro.partition import ordering
+from repro.partition.probe import batch_probe, use_probe_implementation
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_partition.json"
+SEED = 2016
+
+
+def _replay_probe_timings(config: WorkloadConfig, sets: int):
+    """Time scalar vs batch probes on identical replayed CA-TPA states."""
+    rng = np.random.default_rng(SEED)
+    probes = 0
+    scalar_s = 0.0
+    batch_s = 0.0
+    for _ in range(sets):
+        taskset = generate_taskset(config, rng)
+        partition = Partition(taskset, config.cores)
+        for task_index in ordering.by_contribution(taskset):
+            with use_probe_implementation("batch"):
+                start = time.perf_counter()
+                new_utils = batch_probe(partition, task_index)
+                batch_s += time.perf_counter() - start
+            with use_probe_implementation("scalar"):
+                start = time.perf_counter()
+                scalar_utils = batch_probe(partition, task_index)
+                scalar_s += time.perf_counter() - start
+            np.testing.assert_array_equal(new_utils, scalar_utils)
+            probes += 1
+            # Greedy min-increment placement, as in Algorithm 1.
+            finite = np.isfinite(new_utils)
+            if not finite.any():
+                break  # task set not schedulable; next set
+            target = int(np.argmin(np.where(finite, new_utils, np.inf)))
+            partition.assign(task_index, target)
+    return probes, scalar_s, batch_s
+
+
+def _timed_evaluate(implementation: str, config: WorkloadConfig, sets: int):
+    with use_probe_implementation(implementation):
+        start = time.perf_counter()
+        stats = evaluate_point(config, sets=sets, seed=SEED, jobs=1)
+        elapsed = time.perf_counter() - start
+    return stats, elapsed
+
+
+def test_probe_throughput(emit):
+    config = WorkloadConfig()  # the Fig.-1 default point
+    sets = bench_sets(60)
+
+    probes, probe_scalar_s, probe_batch_s = _replay_probe_timings(config, sets)
+    probe_speedup = probe_scalar_s / probe_batch_s
+
+    e2e_batch, e2e_batch_s = _timed_evaluate("batch", config, sets)
+    e2e_scalar, e2e_scalar_s = _timed_evaluate("scalar", config, sets)
+    assert e2e_batch == e2e_scalar  # both paths: identical SchemeStats
+    e2e_speedup = e2e_scalar_s / e2e_batch_s
+
+    payload = {
+        "benchmark": "theorem1-probe-throughput",
+        "workload": dataclasses.asdict(config),
+        "sets": sets,
+        "seed": SEED,
+        "probe": {
+            "count": probes,
+            "scalar": {
+                "seconds": probe_scalar_s,
+                "probes_per_sec": probes / probe_scalar_s,
+            },
+            "batch": {
+                "seconds": probe_batch_s,
+                "probes_per_sec": probes / probe_batch_s,
+            },
+            "speedup": probe_speedup,
+        },
+        "end_to_end": {
+            "schemes": [spec.label for spec in default_schemes()],
+            "scalar": {
+                "seconds": e2e_scalar_s,
+                "sets_per_sec": sets / e2e_scalar_s,
+            },
+            "batch": {
+                "seconds": e2e_batch_s,
+                "sets_per_sec": sets / e2e_batch_s,
+            },
+            "speedup": e2e_speedup,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "Theorem-1 probe engine throughput "
+        f"(Fig.-1 default workload, {sets} task sets, seed {SEED})",
+        "",
+        f"Eq.-(15) probes on replayed CA-TPA states ({probes} probes, "
+        f"{config.cores} cores each):",
+        f"  {'path':<8} {'seconds':>10} {'probes/sec':>12}",
+        f"  {'scalar':<8} {probe_scalar_s:>10.3f} "
+        f"{probes / probe_scalar_s:>12.0f}",
+        f"  {'batch':<8} {probe_batch_s:>10.3f} "
+        f"{probes / probe_batch_s:>12.0f}",
+        f"  speedup: {probe_speedup:.2f}x",
+        "",
+        "End-to-end evaluate_point, 5 schemes, jobs=1 (diluted by the "
+        "probe-independent pipeline):",
+        f"  {'path':<8} {'seconds':>10} {'sets/sec':>12}",
+        f"  {'scalar':<8} {e2e_scalar_s:>10.3f} {sets / e2e_scalar_s:>12.2f}",
+        f"  {'batch':<8} {e2e_batch_s:>10.3f} {sets / e2e_batch_s:>12.2f}",
+        f"  speedup: {e2e_speedup:.2f}x",
+        "",
+        f"[written to {RESULT_PATH.name}]",
+    ]
+    emit("probe_speed", "\n".join(lines))
+
+    assert probe_speedup >= 3.0, (
+        f"batch probe engine only {probe_speedup:.2f}x faster than scalar"
+    )

@@ -7,7 +7,6 @@ reports each scheme's acceptance — showing where criticality-aware
 allocation matters most.
 """
 
-import numpy as np
 from conftest import bench_sets
 
 from repro.experiments import SchemeSpec, evaluate_point

@@ -1,5 +1,14 @@
 """EDF-VD schedulability analysis for mixed-criticality task sets."""
 
+from repro.analysis.batch import (
+    batch_available_utilizations,
+    batch_capacity_terms,
+    batch_core_utilization,
+    batch_demand_terms,
+    batch_is_feasible_core,
+    batch_lambda_factors,
+    batch_worst_case_load,
+)
 from repro.analysis.contribution import (
     contribution_matrix,
     contribution_order,
@@ -60,6 +69,13 @@ from repro.analysis.virtual_deadlines import (
 
 __all__ = [
     "available_utilizations",
+    "batch_available_utilizations",
+    "batch_capacity_terms",
+    "batch_core_utilization",
+    "batch_demand_terms",
+    "batch_is_feasible_core",
+    "batch_lambda_factors",
+    "batch_worst_case_load",
     "capacity_terms",
     "contribution_matrix",
     "contribution_order",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.batch import batch_is_feasible_core
 from repro.analysis.edfvd import is_feasible_theorem1
 from repro.analysis.simple import is_feasible_simple
 from repro.model.partition import Partition
@@ -31,11 +32,7 @@ def is_feasible_partition(partition: Partition) -> bool:
 
 
 def infeasible_cores(partition: Partition) -> list[int]:
-    """Indices of cores whose subsets fail the per-core test."""
-    bad = []
-    for m in range(partition.cores):
-        if partition.core_size(m) == 0:
-            continue
-        if not is_feasible_core(partition.level_matrix(m)):
-            bad.append(m)
-    return bad
+    """Indices of non-empty cores whose subsets fail the per-core test."""
+    feasible = batch_is_feasible_core(partition.level_matrices())
+    occupied = partition.core_counts > 0
+    return np.flatnonzero(occupied & ~feasible).tolist()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -119,20 +120,34 @@ def evaluate_point(
         shards = [_run_shard(config, specs, seed, 0, sets)]
     else:
         bounds = np.linspace(0, sets, jobs + 1).astype(int)
+        ranges = [
+            (int(bounds[w]), int(bounds[w + 1] - bounds[w]))
+            for w in range(jobs)
+            if bounds[w + 1] > bounds[w]
+        ]
+        shards = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(
-                    _run_shard,
-                    config,
-                    specs,
-                    seed,
-                    int(bounds[w]),
-                    int(bounds[w + 1] - bounds[w]),
-                )
-                for w in range(jobs)
-                if bounds[w + 1] > bounds[w]
+                pool.submit(_run_shard, config, specs, seed, start, count)
+                for start, count in ranges
             ]
-            shards = [f.result() for f in futures]
+            for future, (start, count) in zip(futures, ranges):
+                try:
+                    shards.append(future.result())
+                except BrokenProcessPool as pool_exc:
+                    # A crashed worker poisons the whole pool and every
+                    # pending future; salvage the batch by re-running
+                    # this shard inline (the shard is self-seeded, so
+                    # the retry is bit-identical to a worker run).
+                    try:
+                        shards.append(
+                            _run_shard(config, specs, seed, start, count)
+                        )
+                    except Exception as retry_exc:
+                        raise ReproError(
+                            f"worker shard [{start}, {start + count}) crashed"
+                            f" ({pool_exc!r}) and the inline retry failed"
+                        ) from retry_exc
 
     merged: dict[str, SchemeAccumulator] = {
         label: SchemeAccumulator(label) for label in labels

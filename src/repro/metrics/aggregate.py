@@ -1,18 +1,23 @@
 """Aggregation of per-task-set outcomes into per-scheme statistics.
 
 One :class:`SchemeAccumulator` per (scheme, data point).  Feed it each
-task set's :class:`~repro.partition.PartitionResult`; it maintains the
-schedulability count and the running sums of ``U_sys`` / ``U_avg`` /
-``Lambda`` over the *schedulable* sets (matching the paper: "these
-metrics are obtained by considering only the schedulable task sets").
+task set's :class:`~repro.partition.PartitionResult`; it records the
+schedulability count and the per-set ``U_sys`` / ``U_avg`` / ``Lambda``
+figures over the *schedulable* sets (matching the paper: "these metrics
+are obtained by considering only the schedulable task sets").
 
 Accumulators are picklable and mergeable, so the parallel harness can
-reduce per-worker partial results.
+reduce per-worker partial results.  Finalization sums the per-set values
+with :func:`math.fsum`, whose exactly-rounded result is independent of
+summation order — merging worker shards in any order yields **bit-
+identical** :class:`SchemeStats`, which is what lets the runner promise
+reproducibility regardless of the worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 
 from repro.metrics.core import (
@@ -41,14 +46,17 @@ class SchemeStats:
 
 @dataclass
 class SchemeAccumulator:
-    """Running sums for one scheme at one data point."""
+    """Per-set metric values for one scheme at one data point."""
 
     scheme: str
     total_sets: int = 0
-    schedulable_sets: int = 0
-    sum_u_sys: float = 0.0
-    sum_u_avg: float = 0.0
-    sum_imbalance: float = 0.0
+    u_sys_values: list[float] = field(default_factory=list)
+    u_avg_values: list[float] = field(default_factory=list)
+    imbalance_values: list[float] = field(default_factory=list)
+
+    @property
+    def schedulable_sets(self) -> int:
+        return len(self.u_sys_values)
 
     def add(self, result: PartitionResult, *, check_scheme: bool = True) -> None:
         """Record one task set's outcome.
@@ -64,23 +72,21 @@ class SchemeAccumulator:
         self.total_sets += 1
         if not result.schedulable:
             return
-        self.schedulable_sets += 1
         utils = result.core_utilizations()
-        self.sum_u_sys += system_utilization(utils)
-        self.sum_u_avg += average_core_utilization(utils)
-        self.sum_imbalance += imbalance_factor(utils)
+        self.u_sys_values.append(system_utilization(utils))
+        self.u_avg_values.append(average_core_utilization(utils))
+        self.imbalance_values.append(imbalance_factor(utils))
 
     def merge(self, other: "SchemeAccumulator") -> None:
-        """Fold another worker's partial sums into this one."""
+        """Fold another worker's partial values into this one."""
         if other.scheme != self.scheme:
             raise ModelError(
                 f"cannot merge accumulator for {other.scheme!r} into {self.scheme!r}"
             )
         self.total_sets += other.total_sets
-        self.schedulable_sets += other.schedulable_sets
-        self.sum_u_sys += other.sum_u_sys
-        self.sum_u_avg += other.sum_u_avg
-        self.sum_imbalance += other.sum_imbalance
+        self.u_sys_values.extend(other.u_sys_values)
+        self.u_avg_values.extend(other.u_avg_values)
+        self.imbalance_values.extend(other.imbalance_values)
 
     def finalize(self) -> SchemeStats:
         """Close the books: means over schedulable sets, ratio over all."""
@@ -90,7 +96,9 @@ class SchemeAccumulator:
             total_sets=self.total_sets,
             schedulable_sets=n_ok,
             sched_ratio=(n_ok / self.total_sets) if self.total_sets else float("nan"),
-            u_sys=(self.sum_u_sys / n_ok) if n_ok else float("nan"),
-            u_avg=(self.sum_u_avg / n_ok) if n_ok else float("nan"),
-            imbalance=(self.sum_imbalance / n_ok) if n_ok else float("nan"),
+            u_sys=(math.fsum(self.u_sys_values) / n_ok) if n_ok else float("nan"),
+            u_avg=(math.fsum(self.u_avg_values) / n_ok) if n_ok else float("nan"),
+            imbalance=(
+                math.fsum(self.imbalance_values) / n_ok if n_ok else float("nan")
+            ),
         )

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.edfvd import core_utilization
 from repro.model.partition import Partition
 from repro.types import EPS, ModelError
 
@@ -32,10 +31,12 @@ __all__ = [
 
 
 def core_utilizations(partition: Partition) -> np.ndarray:
-    """Per-core Eq.-(9) utilizations; empty cores are 0."""
-    return np.array(
-        [core_utilization(partition.level_matrix(m)) for m in range(partition.cores)]
-    )
+    """Per-core Eq.-(9) utilizations; empty cores are 0.
+
+    Served from the partition's per-core cache (one vectorized pass over
+    the cores whose subsets changed since the last call).
+    """
+    return partition.core_utilizations()
 
 
 def system_utilization(utils: np.ndarray) -> float:

@@ -5,7 +5,8 @@ task of a task set to exactly one of ``M`` identical cores.  The class
 below is a thin, mutable builder used by the partitioning heuristics; it
 maintains, incrementally, the per-core ``(K, K)`` level-utilization
 matrices ``U_j^{\\Psi_m}(k)`` (Eq. (3)) so that probing a task onto a core
-never rescans the core's task list.
+never rescans the core's task list, and caches the per-core Eq.-(9)
+utilizations so that unchanged cores are never re-evaluated.
 """
 
 from __future__ import annotations
@@ -38,7 +39,14 @@ class Partition:
     True
     """
 
-    __slots__ = ("_taskset", "_cores", "_assignment", "_level_mats", "_counts")
+    __slots__ = (
+        "_taskset",
+        "_cores",
+        "_assignment",
+        "_level_mats",
+        "_counts",
+        "_util_cache",
+    )
 
     def __init__(self, taskset: MCTaskSet, cores: int):
         if cores < 1:
@@ -48,7 +56,12 @@ class Partition:
         self._assignment = np.full(len(taskset), -1, dtype=np.int64)
         k = taskset.levels
         self._level_mats = np.zeros((self._cores, k, k), dtype=np.float64)
+        # The base array stays read-only except inside assign(), so every
+        # view handed out (and every alias of it) is genuinely immutable.
+        self._level_mats.setflags(write=False)
         self._counts = np.zeros(self._cores, dtype=np.int64)
+        # Per-rule caches of the Eq.-(9) core utilizations; nan = stale.
+        self._util_cache: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -84,15 +97,72 @@ class Partition:
         self._check_core(core)
         return int(self._counts[core])
 
+    @property
+    def core_counts(self) -> np.ndarray:
+        """Copy of the per-core assigned-task counts."""
+        return self._counts.copy()
+
     def level_matrix(self, core: int) -> np.ndarray:
         """The core's ``(K, K)`` matrix ``L[j-1, k-1] = U_j^{Psi_m}(k)`` (Eq. 3).
 
-        Returned as a read-only view; callers must not mutate it.
+        Returned as a read-only view of a read-only base array: mutating
+        it (or any alias of it) raises.
         """
         self._check_core(core)
-        view = self._level_mats[core]
-        view.setflags(write=False)
-        return view
+        return self._level_mats[core]
+
+    def level_matrices(self) -> np.ndarray:
+        """All per-core level matrices as one read-only ``(M, K, K)`` view.
+
+        This is the zero-copy input for the batch probe engine
+        (:mod:`repro.analysis.batch`).
+        """
+        return self._level_mats[:]
+
+    def candidate_stack(self, task_index: int) -> np.ndarray:
+        """Writable ``(M, K, K)`` copy with ``task_index`` added to every core.
+
+        Stack entry ``m`` is the hypothetical level matrix
+        ``U^{Psi_m + tau_i}`` of the Eq.-(15) probes, built with a single
+        broadcasted add.  This is the probe hot path, so it reads the
+        slots directly instead of going through the read-only views.
+        """
+        taskset = self._taskset
+        crit = int(taskset.criticalities[task_index])
+        mats = self._level_mats.copy()
+        mats[:, crit - 1, :crit] += taskset.utilization_matrix[task_index, :crit]
+        return mats
+
+    def core_utilizations(self, rule: str = "max") -> np.ndarray:
+        """Per-core Eq.-(9) utilizations ``U^{Psi_m}``: a ``(M,)`` copy.
+
+        Empty cores are 0; infeasible cores are ``inf``.  Results are
+        cached per ``rule`` and invalidated core-by-core on
+        :meth:`assign`, so repeated metric evaluations only pay for the
+        cores that actually changed.
+        """
+        cache = self._util_cache.get(rule)
+        if cache is None:
+            cache = np.full(self._cores, np.nan, dtype=np.float64)
+            self._util_cache[rule] = cache
+        stale = np.flatnonzero(np.isnan(cache))
+        if stale.size:
+            empty = self._counts[stale] == 0
+            cache[stale[empty]] = 0.0
+            todo = stale[~empty]
+            if todo.size:
+                # Deferred import: repro.analysis pulls this module in.
+                from repro.analysis.batch import batch_core_utilization
+
+                cache[todo] = batch_core_utilization(
+                    self._level_mats[todo], rule=rule
+                )
+        return cache.copy()
+
+    def core_utilization(self, core: int, rule: str = "max") -> float:
+        """Cached Eq.-(9) utilization of one core (see :meth:`core_utilizations`)."""
+        self._check_core(core)
+        return float(self.core_utilizations(rule)[core])
 
     # ------------------------------------------------------------------
     # Mutation
@@ -108,13 +178,18 @@ class Partition:
                 f" {self._assignment[task_index]}"
             )
         self._assignment[task_index] = core
-        task = self._taskset[task_index]
-        row = self._level_mats[core, task.criticality - 1]
-        row.setflags(write=True)
-        row[: task.criticality] += self._taskset.utilization_matrix[
-            task_index, : task.criticality
-        ]
+        crit = self._taskset[task_index].criticality
+        # The base array is writable only inside this window.
+        self._level_mats.setflags(write=True)
+        try:
+            self._level_mats[core, crit - 1, :crit] += (
+                self._taskset.utilization_matrix[task_index, :crit]
+            )
+        finally:
+            self._level_mats.setflags(write=False)
         self._counts[core] += 1
+        for cache in self._util_cache.values():
+            cache[core] = np.nan
 
     # ------------------------------------------------------------------
     # Export

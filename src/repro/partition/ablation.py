@@ -18,7 +18,7 @@ from repro.model.partition import Partition
 from repro.model.taskset import MCTaskSet
 from repro.partition import ordering
 from repro.partition.catpa import CATPA
-from repro.partition.probe import probe_core_utilization
+from repro.partition.probe import first_finite_probe
 from repro.types import PartitionError
 
 __all__ = ["CATPAVariant", "ORDERINGS", "SELECTIONS"]
@@ -93,10 +93,6 @@ class CATPAVariant(CATPA):
             core_order = np.argsort(-utils, kind="stable")
         else:  # worst-fit
             core_order = np.argsort(utils, kind="stable")
-        for m in core_order:
-            new_util = probe_core_utilization(
-                partition, int(m), task_index, rule=self.eq9_rule
-            )
-            if np.isfinite(new_util):
-                return int(m), new_util
-        return None, np.inf
+        return first_finite_probe(
+            partition, task_index, core_order, rule=self.eq9_rule
+        )

@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.edfvd import core_utilization
 from repro.model.partition import Partition
 from repro.model.taskset import MCTaskSet
 from repro.types import PartitionError
@@ -65,10 +64,7 @@ class PartitionResult:
         """
         if self._core_utils is not None:
             return self._core_utils.copy()
-        out = np.empty(self.partition.cores, dtype=np.float64)
-        for m in range(self.partition.cores):
-            out[m] = core_utilization(self.partition.level_matrix(m))
-        return out
+        return self.partition.core_utilizations()
 
 
 class Partitioner(abc.ABC):

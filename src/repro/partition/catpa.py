@@ -11,14 +11,26 @@ Section III (Eq. (16)):
    core index).  Fail as soon as some task fits nowhere.
 3. Imbalance override: before selecting by minimum increment, compute
    the workload imbalance factor
-   ``Lambda = (U_sys - min_m U^{Psi_m}) / U_sys`` over the current
-   partial mapping.  If ``Lambda`` exceeds the threshold ``alpha``, the
-   task is instead assigned to the feasible core with the minimum
-   *current* core utilization (ties: lowest core index).
+   ``Lambda = (U_sys - min_m U^{Psi_m}) / U_sys`` over the cores that
+   already hold at least one task.  If ``Lambda`` exceeds the threshold
+   ``alpha``, the task is instead assigned to the feasible core with the
+   minimum *current* core utilization (ties: lowest core index).
 
-The per-core Eq.-(9) utilizations are tracked incrementally, so a full
-run costs ``O(N * M * K^2)`` probe work plus the ``O(N log N)`` sort,
-matching the paper's complexity analysis.
+Eq.-(16) semantics: cores that are still idle are **excluded** from the
+``min`` while the partial mapping is being built.  Algorithm 1's
+override exists to re-balance the cores the packing has already loaded;
+an untouched core would pin ``Lambda`` at exactly 1 and make the
+min-utilization rule — not the paper's min-increment rule — place the
+first ``M`` tasks for every ``alpha < 1``.  (Idle cores still count in
+the *final* reported imbalance metric, :func:`repro.metrics.imbalance_factor`,
+exactly as Eq. (16) reads for a finished partition.)
+
+The Eq.-(15) probes run through the vectorized batch engine
+(:func:`repro.partition.probe.batch_probe`): one ``(M, K, K)`` NumPy
+pass per task instead of ``M`` scalar evaluations.  The per-core
+Eq.-(9) utilizations are tracked incrementally, so a full run costs
+``O(N * M * K^2)`` probe work plus the ``O(N log N)`` sort, matching the
+paper's complexity analysis.
 """
 
 from __future__ import annotations
@@ -29,7 +41,7 @@ from repro.model.partition import Partition
 from repro.model.taskset import MCTaskSet
 from repro.partition import ordering
 from repro.partition.base import Partitioner
-from repro.partition.probe import probe_core_utilization
+from repro.partition.probe import batch_probe, first_finite_probe
 from repro.types import EPS, PartitionError
 
 __all__ = ["CATPA"]
@@ -47,12 +59,12 @@ class CATPA(Partitioner):
     ----------
     alpha:
         Threshold for the workload imbalance factor ``Lambda``
-        (Eq. (16)).  The paper sweeps ``[0.1, 0.5]`` and uses 0.7 as the
-        default in the other experiments; ``alpha >= 1`` effectively
-        disables the override (``Lambda < 1`` whenever every core
-        utilization is finite and ``U_sys > 0``... except fully idle
-        cores, for which ``Lambda = 1`` exactly — hence ``alpha = None``
-        disables the override outright, which the ablation benches use).
+        (Eq. (16)), measured over the cores that already hold tasks.
+        The paper sweeps ``[0.1, 0.5]`` and uses 0.7 as the default in
+        the other experiments; ``alpha >= 1`` effectively disables the
+        override (``Lambda < 1`` whenever every loaded core utilization
+        is finite and positive), and ``alpha = None`` disables it
+        outright (the ablation benches use that).
     eq9_rule:
         Aggregation over feasible Theorem-1 conditions in Eq. (9):
         ``"max"`` (the paper's text, default) or ``"min"`` (the
@@ -81,7 +93,7 @@ class CATPA(Partitioner):
             utils = np.zeros(partition.cores, dtype=np.float64)
             state["core_utils"] = utils
 
-        if self._imbalance_exceeded(utils):
+        if self._imbalance_exceeded(utils, partition):
             target, new_util = self._min_utilization_core(
                 task_index, partition, utils
             )
@@ -99,25 +111,28 @@ class CATPA(Partitioner):
         return None if utils is None else utils.copy()
 
     # ------------------------------------------------------------------
-    def _imbalance_exceeded(self, utils: np.ndarray) -> bool:
+    def _imbalance_exceeded(self, utils: np.ndarray, partition: Partition) -> bool:
+        """Eq. (16) over the loaded cores of the partial mapping."""
         if self.alpha is None:
             return False
-        u_sys = float(utils.max())
-        if u_sys <= EPS:
+        loaded = utils[partition.core_counts > 0]
+        if loaded.size == 0:
             return False  # empty system: Lambda defined as 0
-        imbalance = (u_sys - float(utils.min())) / u_sys
+        u_sys = float(loaded.max())
+        if u_sys <= EPS:
+            return False
+        imbalance = (u_sys - float(loaded.min())) / u_sys
         return imbalance > self.alpha
 
     def _min_increment_core(
         self, task_index: int, partition: Partition, utils: np.ndarray
     ) -> tuple[int | None, float]:
+        new_utils = batch_probe(partition, task_index, rule=self.eq9_rule)
         best_core: int | None = None
         best_increment = np.inf
         best_new = np.inf
         for m in range(partition.cores):
-            new_util = probe_core_utilization(
-                partition, m, task_index, rule=self.eq9_rule
-            )
+            new_util = float(new_utils[m])
             if not np.isfinite(new_util):
                 continue
             increment = new_util - utils[m]
@@ -133,10 +148,9 @@ class CATPA(Partitioner):
     ) -> tuple[int | None, float]:
         # Cores by ascending current utilization; stable sort keeps the
         # lowest index first among ties.
-        for m in np.argsort(utils, kind="stable"):
-            new_util = probe_core_utilization(
-                partition, int(m), task_index, rule=self.eq9_rule
-            )
-            if np.isfinite(new_util):
-                return int(m), new_util
-        return None, np.inf
+        return first_finite_probe(
+            partition,
+            task_index,
+            np.argsort(utils, kind="stable"),
+            rule=self.eq9_rule,
+        )

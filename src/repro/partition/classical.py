@@ -24,7 +24,7 @@ from repro.model.partition import Partition
 from repro.model.taskset import MCTaskSet
 from repro.partition import ordering
 from repro.partition.base import Partitioner
-from repro.partition.probe import probe_feasible
+from repro.partition.probe import first_feasible_core
 
 __all__ = ["FirstFitDecreasing", "BestFitDecreasing", "WorstFitDecreasing"]
 
@@ -55,10 +55,7 @@ class _ClassicalDecreasing(Partitioner):
     def _feasible_in_preference_order(
         self, task_index: int, partition: Partition, core_order
     ) -> int | None:
-        for m in core_order:
-            if probe_feasible(partition, int(m), task_index):
-                return int(m)
-        return None
+        return first_feasible_core(partition, task_index, core_order)
 
 
 class FirstFitDecreasing(_ClassicalDecreasing):

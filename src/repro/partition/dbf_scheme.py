@@ -19,7 +19,7 @@ from repro.model.partition import Partition
 from repro.model.taskset import MCTaskSet
 from repro.partition import ordering
 from repro.partition.base import Partitioner
-from repro.partition.probe import probe_feasible
+from repro.partition.probe import first_feasible_core
 
 __all__ = ["DBFFirstFit"]
 
@@ -38,16 +38,13 @@ class DBFFirstFit(Partitioner):
     def select_core(
         self, task_index: int, partition: Partition, state: dict
     ) -> int | None:
-        dual = partition.taskset.levels == 2
+        if partition.taskset.levels != 2:
+            return first_feasible_core(partition, task_index)
         for m in range(partition.cores):
-            if dual:
-                candidate = partition.tasks_on(m) + [task_index]
-                subset = partition.taskset.subset(candidate)
-                if tune_virtual_deadlines(subset, self.max_iterations) is not None:
-                    return m
-            else:
-                if probe_feasible(partition, m, task_index):
-                    return m
+            candidate = partition.tasks_on(m) + [task_index]
+            subset = partition.taskset.subset(candidate)
+            if tune_virtual_deadlines(subset, self.max_iterations) is not None:
+                return m
         return None
 
     def core_plans(self, partition: Partition):

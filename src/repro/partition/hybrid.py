@@ -17,7 +17,7 @@ import numpy as np
 from repro.model.partition import Partition
 from repro.model.taskset import MCTaskSet
 from repro.partition.base import Partitioner
-from repro.partition.probe import probe_feasible
+from repro.partition.probe import first_feasible_core
 from repro.types import PartitionError
 
 __all__ = ["HybridPartitioner"]
@@ -55,8 +55,7 @@ class HybridPartitioner(Partitioner):
             core_order = np.argsort(loads, kind="stable")  # WFD
         else:
             core_order = np.arange(partition.cores)  # FFD
-        for m in core_order:
-            if probe_feasible(partition, int(m), task_index):
-                loads[int(m)] += task.max_utilization
-                return int(m)
-        return None
+        target = first_feasible_core(partition, task_index, core_order)
+        if target is not None:
+            loads[target] += task.max_utilization
+        return target

@@ -3,19 +3,77 @@
 Probes never mutate the partition; they build the hypothetical level
 matrix ``U_j^{Psi_m + tau_i}(k)`` by adding the task's utilization row to
 the core's cached matrix and evaluate the schedulability machinery on it.
+
+Two implementations coexist:
+
+* the **batch** path (default) builds all ``M`` candidate matrices in one
+  broadcasted ``(M, K, K)`` stack and evaluates them with
+  :mod:`repro.analysis.batch` in a single NumPy pass;
+* the **scalar** path evaluates one ``(K, K)`` matrix per core with
+  :mod:`repro.analysis.edfvd`, probing lazily in preference order where
+  the heuristics historically did.
+
+Both produce bit-identical placement decisions (pinned by the test
+suite); :func:`use_probe_implementation` switches between them, which the
+``benchmarks/test_bench_probe_speed.py`` throughput benchmark uses to
+measure the speedup of the batch engine.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
 import numpy as np
 
+from repro.analysis.batch import (
+    _core_utilization_stack,
+    _is_feasible_stack,
+)
 from repro.analysis.edfvd import core_utilization
 from repro.analysis.feasibility import is_feasible_core
 from repro.model.partition import Partition
+from repro.types import ModelError
 
-__all__ = ["candidate_level_matrix", "probe_core_utilization", "probe_feasible"]
+__all__ = [
+    "candidate_level_matrix",
+    "probe_core_utilization",
+    "probe_feasible",
+    "batch_candidate_matrices",
+    "batch_probe",
+    "batch_probe_feasible",
+    "first_feasible_core",
+    "first_finite_probe",
+    "probe_implementation",
+    "use_probe_implementation",
+]
+
+#: Active probe implementation: "batch" (vectorized, default) or "scalar".
+_ACTIVE_IMPLEMENTATION = "batch"
 
 
+def probe_implementation() -> str:
+    """The currently active probe implementation (``"batch"``/``"scalar"``)."""
+    return _ACTIVE_IMPLEMENTATION
+
+
+@contextmanager
+def use_probe_implementation(impl: str) -> Iterator[None]:
+    """Temporarily select the probe implementation (benchmarks/tests)."""
+    global _ACTIVE_IMPLEMENTATION
+    if impl not in ("batch", "scalar"):
+        raise ModelError(f"unknown probe implementation {impl!r}")
+    previous = _ACTIVE_IMPLEMENTATION
+    _ACTIVE_IMPLEMENTATION = impl
+    try:
+        yield
+    finally:
+        _ACTIVE_IMPLEMENTATION = previous
+
+
+# ----------------------------------------------------------------------
+# Scalar path (one core at a time)
+# ----------------------------------------------------------------------
 def candidate_level_matrix(
     partition: Partition, core: int, task_index: int
 ) -> np.ndarray:
@@ -45,3 +103,104 @@ def probe_core_utilization(
 def probe_feasible(partition: Partition, core: int, task_index: int) -> bool:
     """Would the enlarged subset pass the Eq.(4)-or-Theorem-1 test?"""
     return is_feasible_core(candidate_level_matrix(partition, core, task_index))
+
+
+# ----------------------------------------------------------------------
+# Batch path (all cores at once)
+# ----------------------------------------------------------------------
+def batch_candidate_matrices(partition: Partition, task_index: int) -> np.ndarray:
+    """The ``(M, K, K)`` stack of all candidate level matrices for a task.
+
+    One broadcasted add builds every ``U^{Psi_m + tau_i}`` hypothesis at
+    once instead of ``M`` per-core copies.
+    """
+    return partition.candidate_stack(task_index)
+
+
+def batch_probe(
+    partition: Partition, task_index: int, rule: str = "max"
+) -> np.ndarray:
+    """Eq.-(15) probe of ``task_index`` against *every* core: ``(M,)``.
+
+    Entry ``m`` is the hypothetical ``U^{Psi_m + tau_i}`` (``inf`` where
+    the enlarged subset is Theorem-1 infeasible, per Eq. (15a)).
+    """
+    if _ACTIVE_IMPLEMENTATION == "scalar":
+        return np.array(
+            [
+                probe_core_utilization(partition, m, task_index, rule=rule)
+                for m in range(partition.cores)
+            ],
+            dtype=np.float64,
+        )
+    if rule not in ("max", "min"):
+        raise ModelError(f"unknown Eq. (9) rule {rule!r}; use 'max' or 'min'")
+    return _core_utilization_stack(partition.candidate_stack(task_index), rule)
+
+
+def batch_probe_feasible(partition: Partition, task_index: int) -> np.ndarray:
+    """Eq.(4)-or-Theorem-1 feasibility of the task on every core: ``(M,)``."""
+    if _ACTIVE_IMPLEMENTATION == "scalar":
+        return np.array(
+            [
+                probe_feasible(partition, m, task_index)
+                for m in range(partition.cores)
+            ],
+            dtype=bool,
+        )
+    return _is_feasible_stack(partition.candidate_stack(task_index))
+
+
+# ----------------------------------------------------------------------
+# Preference-order scans shared by the heuristics
+# ----------------------------------------------------------------------
+def first_feasible_core(
+    partition: Partition,
+    task_index: int,
+    core_order: Iterable[int] | None = None,
+) -> int | None:
+    """First core in ``core_order`` on which the task is feasible.
+
+    The batch path evaluates all cores in one pass and scans the result;
+    the scalar path probes lazily in preference order (the historical
+    behaviour of FFD-like schemes).  ``None`` when no core fits.
+    """
+    if core_order is None:
+        core_order = range(partition.cores)
+    if _ACTIVE_IMPLEMENTATION == "scalar":
+        for m in core_order:
+            if probe_feasible(partition, int(m), task_index):
+                return int(m)
+        return None
+    feasible = batch_probe_feasible(partition, task_index)
+    for m in core_order:
+        if feasible[int(m)]:
+            return int(m)
+    return None
+
+
+def first_finite_probe(
+    partition: Partition,
+    task_index: int,
+    core_order: Iterable[int],
+    rule: str = "max",
+) -> tuple[int | None, float]:
+    """First core in ``core_order`` with a finite Eq.-(15) probe.
+
+    Returns ``(core, new_utilization)``, or ``(None, inf)`` when the task
+    fits nowhere.  Used by the min-utilization override and the ablation
+    fit rules, which pick by preference order rather than by increment.
+    """
+    if _ACTIVE_IMPLEMENTATION == "scalar":
+        for m in core_order:
+            new_util = probe_core_utilization(
+                partition, int(m), task_index, rule=rule
+            )
+            if np.isfinite(new_util):
+                return int(m), new_util
+        return None, np.inf
+    new_utils = batch_probe(partition, task_index, rule=rule)
+    for m in core_order:
+        if np.isfinite(new_utils[int(m)]):
+            return int(m), float(new_utils[int(m)])
+    return None, np.inf

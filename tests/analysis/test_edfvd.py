@@ -13,7 +13,6 @@ from repro.analysis import (
     is_feasible_theorem1,
     lambda_factors,
 )
-from repro.model import MCTask, MCTaskSet
 from repro.types import INFEASIBLE, ModelError
 from tests.conftest import random_taskset
 

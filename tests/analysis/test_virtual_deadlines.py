@@ -1,6 +1,5 @@
 """Tests for the virtual-deadline assignment protocol."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import assign_virtual_deadlines, lambda_factors

@@ -78,6 +78,81 @@ class TestLevelMatrices:
         with pytest.raises(ValueError):
             part.level_matrix(0)[0, 0] = 1.0
 
+    def test_protection_cannot_be_stripped_from_aliases(self, ts):
+        # The base array is read-only, so re-enabling the write flag on a
+        # returned view (or any alias derived from it) must fail — the
+        # old per-view setflags(write=False) only guarded one object.
+        part = Partition(ts, cores=2)
+        view = part.level_matrix(0)
+        with pytest.raises(ValueError):
+            view.setflags(write=True)
+        alias = view[:]
+        with pytest.raises(ValueError):
+            alias.setflags(write=True)
+        with pytest.raises(ValueError):
+            alias[0, 0] = 1.0
+
+    def test_level_matrices_stack_not_writable(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 1)
+        stack = part.level_matrices()
+        np.testing.assert_array_equal(stack[1], part.level_matrix(1))
+        with pytest.raises(ValueError):
+            stack[0, 0, 0] = 1.0
+        with pytest.raises(ValueError):
+            stack.setflags(write=True)
+
+    def test_view_stays_readonly_after_assign(self, ts):
+        part = Partition(ts, cores=2)
+        view = part.level_matrix(0)
+        part.assign(0, 0)  # toggles the base writable internally
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+
+
+class TestUtilizationCache:
+    def test_matches_fresh_computation(self, ts):
+        from repro.analysis import core_utilization
+
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        part.assign(1, 1)
+        first = part.core_utilizations()
+        expected = np.array(
+            [core_utilization(part.level_matrix(m)) for m in range(2)]
+        )
+        np.testing.assert_array_equal(first, expected)
+        # Cached second read is identical (and a defensive copy).
+        second = part.core_utilizations()
+        np.testing.assert_array_equal(second, first)
+        second[0] = 99.0
+        assert part.core_utilization(0) == first[0]
+
+    def test_empty_cores_are_zero(self, ts):
+        part = Partition(ts, cores=3)
+        np.testing.assert_array_equal(part.core_utilizations(), np.zeros(3))
+
+    def test_invalidated_per_core_on_assign(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        before = part.core_utilizations()
+        part.assign(1, 1)
+        after = part.core_utilizations()
+        assert after[0] == before[0]  # untouched core kept its entry
+        assert after[1] > 0.0
+
+    def test_per_rule_caches_are_independent(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(1, 0)
+        part.assign(2, 0)
+        from repro.analysis import core_utilization
+
+        for rule in ("max", "min"):
+            expected = np.array(
+                [core_utilization(part.level_matrix(m), rule=rule) for m in range(2)]
+            )
+            np.testing.assert_array_equal(part.core_utilizations(rule), expected)
+
     def test_matrix_updates_after_each_assign(self, ts):
         part = Partition(ts, cores=1)
         part.assign(1, 0)

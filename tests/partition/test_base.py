@@ -1,6 +1,5 @@
 """Tests for the Partitioner base machinery and PartitionResult."""
 
-import numpy as np
 import pytest
 
 from repro.model import MCTask, MCTaskSet

@@ -76,17 +76,31 @@ class TestSelection:
 
 
 class TestImbalanceOverride:
-    def test_alpha_zero_forces_spreading(self):
-        # With alpha = 0 any imbalance triggers the min-utilization rule,
-        # so CA-TPA behaves like worst-fit and spreads.
+    def test_idle_cores_do_not_trigger_override(self):
+        # Eq.-(16) regression: idle cores used to pin Lambda at exactly 1,
+        # so any alpha < 1 made the min-utilization rule place the first
+        # M tasks.  Idle cores are now excluded from the min, so while
+        # only one core is loaded the paper's min-increment rule packs —
+        # alpha = 0 and alpha = None agree on this instance.
         ts = MCTaskSet([mc(0.3), mc(0.3), mc(0.2)], levels=1)
-        spread = CATPA(alpha=0.0).partition(ts, cores=2)
+        tight = CATPA(alpha=0.0).partition(ts, cores=2)
         packed = CATPA(alpha=None).partition(ts, cores=2)
-        assert spread.schedulable and packed.schedulable
-        sizes_spread = sorted(len(spread.partition.tasks_on(m)) for m in range(2))
-        sizes_packed = sorted(len(packed.partition.tasks_on(m)) for m in range(2))
-        assert sizes_spread == [1, 2]
-        assert sizes_packed == [0, 3]
+        assert tight.schedulable and packed.schedulable
+        np.testing.assert_array_equal(tight.assignment, packed.assignment)
+        assert packed.partition.tasks_on(0) == [0, 1, 2]
+
+    def test_override_rebalances_loaded_cores(self):
+        # Once two cores are loaded, exceeding alpha routes the next task
+        # to the least-utilized core instead of the min-increment pick.
+        ts = MCTaskSet([mc(0.7), mc(0.6), mc(0.2)], levels=1)
+        # Placement: t0 -> core 0 (tie), t1 -> core 1 (core 0 overflows),
+        # then Lambda = (0.7 - 0.6)/0.7 ~ 0.143.
+        balanced = CATPA(alpha=0.1).partition(ts, cores=2)
+        assert balanced.schedulable
+        assert balanced.partition.core_of(2) == 1  # min-utilization core
+        greedy = CATPA(alpha=None).partition(ts, cores=2)
+        assert greedy.schedulable
+        assert greedy.partition.core_of(2) == 0  # min-increment tie -> core 0
 
     def test_alpha_none_disables_override(self):
         ts = MCTaskSet([mc(0.4), mc(0.3), mc(0.2)], levels=1)

@@ -1,6 +1,5 @@
 """Tests for FFD/BFD/WFD heuristics."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import is_feasible_partition

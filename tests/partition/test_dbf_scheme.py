@@ -1,7 +1,6 @@
 """Tests for the DBF-based partitioned scheme (extension)."""
 
 import numpy as np
-import pytest
 
 from repro.gen import WorkloadConfig, generate_taskset
 from repro.model import MCTask, MCTaskSet

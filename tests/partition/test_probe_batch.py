@@ -1,0 +1,138 @@
+"""Equivalence of the batch probe path with the scalar probe path.
+
+The batch engine is the default for every partitioner; these tests pin
+the guarantee that switching to the scalar path changes *nothing* about
+probe values or placement decisions — which is also what keeps the
+benchmark reference numbers valid across the two implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import Partition
+from repro.partition import (
+    CATPA,
+    CATPAVariant,
+    BestFitDecreasing,
+    FirstFitDecreasing,
+    HybridPartitioner,
+    WorstFitDecreasing,
+)
+from repro.partition.probe import (
+    batch_candidate_matrices,
+    batch_probe,
+    batch_probe_feasible,
+    candidate_level_matrix,
+    probe_core_utilization,
+    probe_feasible,
+    probe_implementation,
+    use_probe_implementation,
+)
+from repro.types import ModelError
+from tests.conftest import random_taskset
+
+
+def random_partial_partition(rng, ts, cores):
+    """Assign a random subset of tasks to random cores."""
+    part = Partition(ts, cores)
+    for i in range(len(ts)):
+        core = int(rng.integers(-1, cores))
+        if core >= 0:
+            part.assign(i, core)
+    return part
+
+
+class TestBatchProbe:
+    def test_candidate_stack_matches_per_core(self, rng):
+        for _ in range(20):
+            ts = random_taskset(rng, n=10, levels=4, max_u=0.4)
+            part = random_partial_partition(rng, ts, cores=4)
+            task = int(rng.integers(0, len(ts)))
+            stack = batch_candidate_matrices(part, task)
+            for m in range(4):
+                np.testing.assert_array_equal(
+                    stack[m], candidate_level_matrix(part, m, task)
+                )
+
+    @pytest.mark.parametrize("rule", ["max", "min"])
+    def test_batch_probe_matches_scalar(self, rng, rule):
+        for _ in range(20):
+            ts = random_taskset(rng, n=12, levels=3, max_u=0.5)
+            part = random_partial_partition(rng, ts, cores=5)
+            task = int(rng.integers(0, len(ts)))
+            batch = batch_probe(part, task, rule=rule)
+            scalar = np.array(
+                [
+                    probe_core_utilization(part, m, task, rule=rule)
+                    for m in range(5)
+                ]
+            )
+            np.testing.assert_array_equal(batch, scalar)
+
+    def test_batch_feasible_matches_scalar(self, rng):
+        for _ in range(20):
+            ts = random_taskset(rng, n=12, levels=2, max_u=0.6)
+            part = random_partial_partition(rng, ts, cores=3)
+            task = int(rng.integers(0, len(ts)))
+            batch = batch_probe_feasible(part, task)
+            scalar = np.array(
+                [probe_feasible(part, m, task) for m in range(3)]
+            )
+            np.testing.assert_array_equal(batch, scalar)
+
+
+SCHEMES = [
+    CATPA(),
+    CATPA(alpha=0.1),
+    CATPA(alpha=None),
+    CATPA(eq9_rule="min"),
+    CATPAVariant(order="max-utilization", selection="worst-fit"),
+    CATPAVariant(selection="best-fit", alpha=0.2),
+    CATPAVariant(selection="first-fit", alpha=None),
+    FirstFitDecreasing(),
+    BestFitDecreasing(),
+    WorstFitDecreasing(),
+    HybridPartitioner(),
+]
+
+
+class TestPartitionerEquivalence:
+    @pytest.mark.parametrize(
+        "scheme", SCHEMES, ids=lambda s: s.name
+    )
+    def test_scalar_and_batch_paths_place_identically(self, rng, scheme):
+        for _ in range(15):
+            ts = random_taskset(rng, n=14, levels=3, max_u=0.35)
+            with use_probe_implementation("batch"):
+                a = scheme.partition(ts, cores=4)
+            with use_probe_implementation("scalar"):
+                b = scheme.partition(ts, cores=4)
+            assert a.schedulable == b.schedulable
+            assert a.failed_task == b.failed_task
+            np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+class TestImplementationToggle:
+    def test_default_is_batch(self):
+        assert probe_implementation() == "batch"
+
+    def test_toggle_restores_on_exit(self):
+        with use_probe_implementation("scalar"):
+            assert probe_implementation() == "scalar"
+            with use_probe_implementation("batch"):
+                assert probe_implementation() == "batch"
+            assert probe_implementation() == "scalar"
+        assert probe_implementation() == "batch"
+
+    def test_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_probe_implementation("scalar"):
+                raise RuntimeError("boom")
+        assert probe_implementation() == "batch"
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ModelError):
+            with use_probe_implementation("simd"):
+                pass

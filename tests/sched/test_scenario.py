@@ -1,6 +1,5 @@
 """Tests for the execution-time scenarios."""
 
-import numpy as np
 import pytest
 
 from repro.model import MCTask

@@ -1,6 +1,5 @@
 """Tests for the multicore system simulator."""
 
-import numpy as np
 import pytest
 
 from repro.model import MCTask, MCTaskSet, Partition

@@ -1,6 +1,5 @@
 """Tests for the elastic MC extension."""
 
-import numpy as np
 import pytest
 
 from repro.elastic import (

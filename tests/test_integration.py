@@ -89,8 +89,6 @@ class TestFullJourney:
         import csv
 
         from repro.experiments import (
-            SchemeSpec,
-            evaluate_point,
             save_sweep_csv,
             figure1_nsu,
             run_sweep,
