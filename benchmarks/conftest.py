@@ -50,6 +50,27 @@ def emit(output_dir, capsys):
     return _emit
 
 
+@pytest.fixture
+def emit_artifact(emit, output_dir):
+    """Persist a figure sweep as rendered text *and* SweepArtifact JSON.
+
+    The committed ``<name>.txt`` is rendered from the committed
+    ``<name>.artifact.json`` by ``format_sweep``;
+    ``tests/experiments/test_output_artifacts.py`` re-renders the JSON
+    and asserts the pair stays in sync, so renderer drift is caught
+    without re-running the sweep.
+    """
+
+    def _emit(name: str, artifact) -> None:
+        from repro.experiments import format_sweep
+
+        path = output_dir / f"{name}.artifact.json"
+        path.write_text(artifact.to_json() + "\n")
+        emit(name, format_sweep(artifact))
+
+    return _emit
+
+
 def run_figure(figure_factory, sets=None, seed=2016):
     """Run one figure sweep with the benchmark-scale workload."""
     from repro.experiments import run_sweep

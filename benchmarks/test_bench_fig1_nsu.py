@@ -8,14 +8,14 @@ EXPERIMENTS.md for the full paper-vs-measured discussion).
 
 from conftest import run_figure
 
-from repro.experiments import figure1_nsu, format_sweep
+from repro.experiments import figure1_nsu
 
 
-def test_fig1_nsu(benchmark, emit):
+def test_fig1_nsu(benchmark, emit_artifact):
     result = benchmark.pedantic(
         lambda: run_figure(figure1_nsu), rounds=1, iterations=1
     )
-    emit("fig1_nsu", format_sweep(result))
+    emit_artifact("fig1_nsu", result)
 
     ratios = result.series("sched_ratio")
     # (shape) higher NSU never helps any scheme (weak monotone decrease).

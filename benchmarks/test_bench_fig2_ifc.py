@@ -7,14 +7,14 @@ causes higher system workload and lower acceptance ratio").
 
 from conftest import run_figure
 
-from repro.experiments import figure2_ifc, format_sweep
+from repro.experiments import figure2_ifc
 
 
-def test_fig2_ifc(benchmark, emit):
+def test_fig2_ifc(benchmark, emit_artifact):
     result = benchmark.pedantic(
         lambda: run_figure(figure2_ifc), rounds=1, iterations=1
     )
-    emit("fig2_ifc", format_sweep(result))
+    emit_artifact("fig2_ifc", result)
 
     ratios = result.series("sched_ratio")
     for scheme, series in ratios.items():

@@ -7,14 +7,14 @@ schedulability, less balance), per Section IV-B.
 
 from conftest import run_figure
 
-from repro.experiments import figure3_alpha, format_sweep
+from repro.experiments import figure3_alpha
 
 
-def test_fig3_alpha(benchmark, emit):
+def test_fig3_alpha(benchmark, emit_artifact):
     result = benchmark.pedantic(
         lambda: run_figure(figure3_alpha), rounds=1, iterations=1
     )
-    emit("fig3_alpha", format_sweep(result))
+    emit_artifact("fig3_alpha", result)
 
     ratios = result.series("sched_ratio")
     # Baselines ignore alpha: their series are exactly constant.

@@ -8,14 +8,14 @@ than FFD/BFD.
 
 from conftest import run_figure
 
-from repro.experiments import figure4_cores, format_sweep
+from repro.experiments import figure4_cores
 
 
-def test_fig4_cores(benchmark, emit):
+def test_fig4_cores(benchmark, emit_artifact):
     result = benchmark.pedantic(
         lambda: run_figure(figure4_cores), rounds=1, iterations=1
     )
-    emit("fig4_cores", format_sweep(result))
+    emit_artifact("fig4_cores", result)
 
     ratios = result.series("sched_ratio")
     imb = result.series("imbalance")

@@ -7,14 +7,14 @@ falls quickly with K — the paper's Figure 5(a) shape.
 
 from conftest import run_figure
 
-from repro.experiments import figure5_levels, format_sweep
+from repro.experiments import figure5_levels
 
 
-def test_fig5_levels(benchmark, emit):
+def test_fig5_levels(benchmark, emit_artifact):
     result = benchmark.pedantic(
         lambda: run_figure(figure5_levels), rounds=1, iterations=1
     )
-    emit("fig5_levels", format_sweep(result))
+    emit_artifact("fig5_levels", result)
 
     ratios = result.series("sched_ratio")
     for scheme, series in ratios.items():

@@ -1,5 +1,12 @@
 """Command-line interface: regenerate any figure or table of the paper.
 
+All figure subcommands run on the resumable :class:`~repro.engine.Engine`:
+completed shards are checkpointed to a content-addressed store (default
+``$REPRO_MC_STORE`` or ``~/.cache/repro-mc/store``), so an interrupted
+``repro-mc all --sets 2000`` resumes from where it stopped and re-runs
+answer instantly from cache.  ``--no-store`` opts out; ``--progress``
+streams per-shard timing and cache hit/miss counters to stderr.
+
 Examples
 --------
 Regenerate Figure 1 with 1000 task sets per data point on 8 workers::
@@ -10,9 +17,10 @@ Print the worked example (Tables I-III)::
 
     repro-mc tables
 
-Run everything the paper reports (this is the long one)::
+Run everything the paper reports (this is the long one; interrupting it
+is safe — a re-run resumes from the checkpointed shards)::
 
-    repro-mc all --sets 2000 --jobs 0
+    repro-mc all --sets 2000 --jobs 0 --progress
 """
 
 from __future__ import annotations
@@ -20,13 +28,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+from repro.engine import Engine, ResultStore, default_store_root
 from repro.experiments.report import (
     format_allocation_trace,
     format_sweep,
     format_table1,
 )
-from repro.experiments.sweeps import FIGURES, run_sweep
+from repro.experiments.sweeps import FIGURES, definition_to_spec
 from repro.experiments.tables import allocation_trace, paper_example_taskset
 from repro.partition.catpa import CATPA
 from repro.partition.classical import FirstFitDecreasing
@@ -72,6 +82,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each figure's data as <DIR>/<figure>.csv",
     )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each figure's SweepArtifact as <DIR>/<figure>.json",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "checkpoint store for completed shards (default: $REPRO_MC_STORE "
+            "or ~/.cache/repro-mc/store); interrupted sweeps resume from it"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable shard checkpointing (always recompute)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-shard timing and cache hit/miss counts to stderr",
+    )
     return parser
 
 
@@ -90,28 +125,68 @@ def _render_tables() -> str:
     return "\n".join(out)
 
 
+def _progress_hook(stream):
+    """Render engine events as human-readable stderr lines."""
+
+    def hook(event: dict) -> None:
+        if event["event"] == "point":
+            print(
+                f"[{event['figure']} {event['parameter']}={event['value']}]",
+                file=stream,
+            )
+        elif event["event"] == "shard":
+            stop = event["start"] + event["count"]
+            source = (
+                "cache hit"
+                if event["cached"]
+                else f"computed in {event['seconds']:.2f}s"
+            )
+            print(
+                f"  shard [{event['start']}, {stop}) {source}",
+                file=stream,
+            )
+
+    return hook
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     jobs = None if args.jobs == 0 else args.jobs
     names = list(FIGURES) + ["tables"] if args.experiment == "all" else [args.experiment]
+
+    store = None
+    if not args.no_store:
+        root = Path(args.store).expanduser() if args.store else default_store_root()
+        store = ResultStore(root)
+    progress = _progress_hook(sys.stderr) if args.progress else None
 
     for name in names:
         start = time.perf_counter()
         if name == "tables":
             text = _render_tables()
         else:
-            result = run_sweep(
-                FIGURES[name](), sets=args.sets, seed=args.seed, jobs=jobs
-            )
-            text = format_sweep(result)
+            engine = Engine(jobs=jobs, store=store, progress=progress)
+            spec = definition_to_spec(FIGURES[name](), sets=args.sets, seed=args.seed)
+            artifact = engine.run(spec)
+            text = format_sweep(artifact)
             if args.csv is not None:
-                from pathlib import Path
-
                 from repro.experiments.export import save_sweep_csv
 
                 directory = Path(args.csv)
                 directory.mkdir(parents=True, exist_ok=True)
-                save_sweep_csv(result, directory / f"{name}.csv")
+                save_sweep_csv(artifact, directory / f"{name}.csv")
+            if args.json is not None:
+                directory = Path(args.json)
+                directory.mkdir(parents=True, exist_ok=True)
+                (directory / f"{name}.json").write_text(artifact.to_json() + "\n")
+            if args.progress:
+                s = engine.stats
+                print(
+                    f"[{name}: {s.shards_planned} shards planned, "
+                    f"{s.cache_hits} cache hits, {s.cache_misses} misses, "
+                    f"{s.shards_computed} computed in {s.compute_seconds:.2f}s]",
+                    file=sys.stderr,
+                )
         elapsed = time.perf_counter() - start
         print(text, file=args.out)
         print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=args.out)

@@ -1,0 +1,340 @@
+"""The resumable experiment engine.
+
+:class:`Engine` evaluates declarative :class:`~repro.engine.spec`
+objects: it plans contiguous shards over each data point's task sets,
+answers as many shards as possible from the content-addressed
+:class:`~repro.engine.store.ResultStore`, computes the rest (inline or
+via a ``ProcessPoolExecutor``), and **checkpoints every computed shard
+the moment it finishes** — an interrupted ``repro-mc all --sets 2000``
+resumes from the completed shards instead of starting over.
+
+Determinism: every task set ``i`` of a point is generated from
+``SeedSequence(seed, spawn_key=(i,))``, shards are merged in ascending
+``start`` order, and finalization uses ``math.fsum`` (exactly rounded),
+so serial, parallel, cold, and warm (fully cached) runs produce
+bit-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.artifact import PointResult, SweepArtifact
+from repro.engine.spec import ExperimentSpec, PointSpec, SchemeSpec, plan_shards
+from repro.engine.store import ResultStore, shard_key
+from repro.gen.generator import generate_taskset
+from repro.gen.params import WorkloadConfig
+from repro.metrics.aggregate import SchemeAccumulator, SchemeStats
+from repro.types import ReproError
+
+__all__ = ["Engine", "EngineRunStats", "run_experiment"]
+
+#: Progress hook: called with one event dict per shard / point; see
+#: :meth:`Engine._emit` for the event shapes.
+ProgressHook = Callable[[dict], None]
+
+
+@dataclass
+class EngineRunStats:
+    """Observability counters for one engine lifetime."""
+
+    points: int = 0
+    shards_planned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    shards_computed: int = 0
+    compute_seconds: float = 0.0
+    shard_seconds: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "points": self.points,
+            "shards_planned": self.shards_planned,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "shards_computed": self.shards_computed,
+            "compute_seconds": self.compute_seconds,
+        }
+
+
+def _run_stats_shard(
+    config: WorkloadConfig,
+    schemes: tuple[SchemeSpec, ...],
+    seed: int,
+    start: int,
+    count: int,
+) -> list[SchemeAccumulator]:
+    """Evaluate task sets ``start .. start+count-1`` of a stats point."""
+    partitioners = [(spec.label, spec.build()) for spec in schemes]
+    accs = {label: SchemeAccumulator(label) for label, _ in partitioners}
+    for i in range(start, start + count):
+        rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
+        taskset = generate_taskset(config, rng)
+        for label, partitioner in partitioners:
+            result = partitioner.partition(taskset, config.cores)
+            # Accumulators are keyed by label, which may differ from the
+            # partitioner's registry name (e.g. alpha variants).
+            accs[label].add(result, check_scheme=False)
+    return list(accs.values())
+
+
+def _run_h2h_shard(
+    config: WorkloadConfig,
+    schemes: tuple[SchemeSpec, ...],
+    seed: int,
+    start: int,
+    count: int,
+) -> dict:
+    """Pairwise dominance tallies over one shard of the common batch."""
+    partitioners = [(spec.label, spec.build()) for spec in schemes]
+    labels = [label for label, _ in partitioners]
+    accepted = {label: 0 for label in labels}
+    wins = {a: {b: 0 for b in labels if b != a} for a in labels}
+    for i in range(start, start + count):
+        rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
+        taskset = generate_taskset(config, rng)
+        outcome = {
+            label: p.partition(taskset, config.cores).schedulable
+            for label, p in partitioners
+        }
+        for a in labels:
+            accepted[a] += outcome[a]
+            for b in labels:
+                if a != b and outcome[a] and not outcome[b]:
+                    wins[a][b] += 1
+    return {"labels": labels, "accepted": accepted, "wins": wins, "sets": count}
+
+
+_SHARD_RUNNERS = {"stats": _run_stats_shard, "h2h": _run_h2h_shard}
+
+
+def _encode_shard(kind: str, result) -> dict:
+    if kind == "stats":
+        return {"kind": kind, "accumulators": [a.to_dict() for a in result]}
+    return {"kind": kind, **result}
+
+
+def _decode_shard(kind: str, payload: dict):
+    if payload.get("kind") != kind:
+        raise ReproError(
+            f"stored shard kind {payload.get('kind')!r} != requested {kind!r}"
+        )
+    if kind == "stats":
+        return [SchemeAccumulator.from_dict(d) for d in payload["accumulators"]]
+    return {
+        "labels": list(payload["labels"]),
+        "accepted": dict(payload["accepted"]),
+        "wins": {a: dict(row) for a, row in payload["wins"].items()},
+        "sets": int(payload["sets"]),
+    }
+
+
+def _merge_stats(point: PointSpec, shards: list) -> dict[str, SchemeStats]:
+    merged = {label: SchemeAccumulator(label) for label in point.labels}
+    for shard in shards:
+        for acc in shard:
+            merged[acc.scheme].merge(acc)
+    return {label: merged[label].finalize() for label in point.labels}
+
+
+def _merge_h2h(point: PointSpec, shards: list) -> dict:
+    labels = list(point.labels)
+    accepted = {label: 0 for label in labels}
+    wins = {a: {b: 0 for b in labels if b != a} for a in labels}
+    sets = 0
+    for shard in shards:
+        sets += shard["sets"]
+        for a in labels:
+            accepted[a] += shard["accepted"][a]
+            for b, n in shard["wins"][a].items():
+                wins[a][b] += n
+    return {"labels": labels, "accepted": accepted, "wins": wins, "sets": sets}
+
+
+class Engine:
+    """Evaluates :class:`PointSpec` / :class:`ExperimentSpec` objects.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes per point; 1 (default) runs inline — results
+        are bit-identical either way.  ``None`` uses ``os.cpu_count()``.
+    store:
+        Optional :class:`ResultStore` (or a path, coerced).  With a
+        store, completed shards are checkpointed as they finish and
+        later runs resume from them.
+    progress:
+        Optional hook receiving one event dict per point/shard.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int | None = 1,
+        store: ResultStore | str | os.PathLike | None = None,
+        progress: ProgressHook | None = None,
+    ) -> None:
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.jobs = jobs
+        self.store = store
+        self.progress = progress
+        self.stats = EngineRunStats()
+
+    # -- observability -------------------------------------------------
+
+    def _emit(self, event: str, **payload) -> None:
+        if self.progress is not None:
+            self.progress({"event": event, **payload})
+
+    def _record_shard(self, seconds: float) -> None:
+        self.stats.shards_computed += 1
+        self.stats.compute_seconds += seconds
+        self.stats.shard_seconds.append(seconds)
+
+    # -- shard execution ----------------------------------------------
+
+    def _effective_jobs(self, sets: int) -> int:
+        jobs = os.cpu_count() or 1 if self.jobs is None else self.jobs
+        return max(1, min(jobs, sets))
+
+    def _checkpoint(self, point: PointSpec, start: int, count: int, result) -> None:
+        if self.store is not None:
+            self.store.put(
+                shard_key(point, start, count), _encode_shard(point.kind, result)
+            )
+
+    def _compute_missing(
+        self, point: PointSpec, missing: list[tuple[int, int]], jobs: int
+    ) -> dict[int, object]:
+        """Run the uncached shards, checkpointing each as it completes."""
+        run_shard = _SHARD_RUNNERS[point.kind]
+        results: dict[int, object] = {}
+
+        def finish(start: int, count: int, result, seconds: float) -> None:
+            self._checkpoint(point, start, count, result)
+            self._record_shard(seconds)
+            results[start] = result
+            self._emit(
+                "shard", start=start, count=count, cached=False, seconds=seconds
+            )
+
+        if jobs == 1 or len(missing) == 1:
+            for start, count in missing:
+                t0 = time.perf_counter()
+                result = run_shard(point.config, point.schemes, point.seed, start, count)
+                finish(start, count, result, time.perf_counter() - t0)
+            return results
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
+            futures = [
+                pool.submit(
+                    run_shard, point.config, point.schemes, point.seed, start, count
+                )
+                for start, count in missing
+            ]
+            t0 = time.perf_counter()
+            for future, (start, count) in zip(futures, missing):
+                try:
+                    result = future.result()
+                except BrokenProcessPool as pool_exc:
+                    # A crashed worker poisons the whole pool and every
+                    # pending future; salvage the batch by re-running
+                    # this shard inline (the shard is self-seeded, so
+                    # the retry is bit-identical to a worker run).
+                    try:
+                        result = run_shard(
+                            point.config, point.schemes, point.seed, start, count
+                        )
+                    except Exception as retry_exc:
+                        raise ReproError(
+                            f"worker shard [{start}, {start + count}) crashed"
+                            f" ({pool_exc!r}) and the inline retry failed"
+                        ) from retry_exc
+                t1 = time.perf_counter()
+                finish(start, count, result, t1 - t0)
+                t0 = t1
+        return results
+
+    # -- public API ----------------------------------------------------
+
+    def evaluate(self, point: PointSpec):
+        """Evaluate one data point, resuming from checkpointed shards.
+
+        Returns ``dict[label, SchemeStats]`` for ``kind="stats"`` points
+        and the merged dominance payload for ``kind="h2h"`` points.
+        """
+        jobs = self._effective_jobs(point.sets)
+        shards = plan_shards(point.sets, jobs)
+        self.stats.points += 1
+        self.stats.shards_planned += len(shards)
+
+        results: dict[int, object] = {}
+        missing: list[tuple[int, int]] = []
+        for start, count in shards:
+            cached = (
+                self.store.get(shard_key(point, start, count))
+                if self.store is not None
+                else None
+            )
+            if cached is not None:
+                results[start] = _decode_shard(point.kind, cached)
+                self.stats.cache_hits += 1
+                self._emit("shard", start=start, count=count, cached=True, seconds=0.0)
+            else:
+                if self.store is not None:
+                    self.stats.cache_misses += 1
+                missing.append((start, count))
+
+        results.update(self._compute_missing(point, missing, jobs) if missing else {})
+        ordered = [results[start] for start, _ in shards]
+        merge = _merge_stats if point.kind == "stats" else _merge_h2h
+        return merge(point, ordered)
+
+    def run(self, spec: ExperimentSpec) -> SweepArtifact:
+        """Evaluate a whole figure spec into a :class:`SweepArtifact`."""
+        rows = []
+        for value, point in zip(spec.values, spec.points):
+            if point.kind != "stats":
+                raise ReproError(
+                    f"ExperimentSpec points must be kind='stats', got {point.kind!r}"
+                )
+            self._emit(
+                "point", figure=spec.figure, parameter=spec.parameter, value=value
+            )
+            stats = self.evaluate(point)
+            rows.append(
+                PointResult(
+                    value=value,
+                    config=point.config,
+                    schemes=point.schemes,
+                    stats=tuple(stats[label] for label in point.labels),
+                )
+            )
+        return SweepArtifact(
+            figure=spec.figure,
+            title=spec.title,
+            parameter=spec.parameter,
+            values=spec.values,
+            sets_per_point=spec.sets_per_point,
+            seed=spec.seed,
+            rows=tuple(rows),
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    jobs: int | None = 1,
+    store: ResultStore | str | os.PathLike | None = None,
+    progress: ProgressHook | None = None,
+) -> SweepArtifact:
+    """One-shot convenience wrapper around :meth:`Engine.run`."""
+    return Engine(jobs=jobs, store=store, progress=progress).run(spec)

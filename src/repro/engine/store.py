@@ -1,0 +1,126 @@
+"""Content-addressed on-disk store for checkpointed shard results.
+
+Every shard (one contiguous ``[start, start+count)`` slice of a data
+point's task sets) is stored under a SHA-256 key derived from the full
+evaluation content: workload config, scheme specs, seed, set range,
+shard kind, artifact schema version, and the package version.  Identical
+work therefore evaluates exactly once — across re-runs, across figures
+that share a point (Fig. 1–5 all contain the Section IV-A default), and
+across interrupted sweeps, which resume from the completed shards.
+
+Invalidation is by key, never in place: bumping
+:data:`~repro.engine.artifact.SCHEMA_VERSION` or the package version
+orphans old entries (``clear()`` reclaims the space).  An algorithm
+change *within* one package version must be accompanied by a version
+bump — otherwise stale checkpoints would keep answering for the old
+behavior (see docs/API.md, "Invalidation rules").
+
+Layout::
+
+    <root>/objects/<key[:2]>/<key>.json
+
+Writes go through a same-directory temp file + ``os.replace`` so a
+killed run never leaves a torn checkpoint; unreadable entries are
+treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro._version import __version__
+from repro.engine.artifact import SCHEMA_VERSION
+from repro.engine.spec import PointSpec
+
+__all__ = ["ResultStore", "shard_key", "default_store_root"]
+
+#: Environment variable naming the default store location for the CLI.
+STORE_ENV = "REPRO_MC_STORE"
+
+
+def default_store_root() -> Path:
+    """CLI default: ``$REPRO_MC_STORE`` or ``~/.cache/repro-mc/store``."""
+    env = os.environ.get(STORE_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro-mc/store").expanduser()
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def shard_key(point: PointSpec, start: int, count: int) -> str:
+    """The content hash addressing one shard of one data point."""
+    content = {
+        "schema_version": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "kind": point.kind,
+        "config": point.config.to_dict(),
+        "schemes": [s.to_dict() for s in point.schemes],
+        "seed": point.seed,
+        "start": start,
+        "count": count,
+    }
+    return hashlib.sha256(_canonical(content).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Filesystem-backed shard checkpoint store.
+
+    Safe for concurrent writers of the *same* content (last atomic
+    rename wins with identical bytes) — which is exactly the CI case of
+    two Python versions sharing one cached store.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0  #: lifetime get() hits (per-run counts live on Engine)
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload, or ``None`` (corrupt entries are purged)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist one shard payload (strict JSON)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(_canonical(payload))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("objects/*/*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def clear(self) -> int:
+        """Delete every stored object; returns the number removed."""
+        removed = 0
+        for path in list(self.root.glob("objects/*/*.json")):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,5 +1,13 @@
-"""Experiment harness: figure sweeps, worked-example tables, reporting."""
+"""Experiment harness: figure sweeps, worked-example tables, reporting.
 
+Since the engine refactor every harness entry point is a thin builder
+over :mod:`repro.engine`: sweeps, head-to-head comparisons, and single
+data points all lower to declarative specs, evaluate on the resumable
+checkpointed :class:`~repro.engine.Engine`, and render from the one
+structured :class:`~repro.engine.SweepArtifact` schema.
+"""
+
+from repro.engine.artifact import PointResult, SweepArtifact
 from repro.experiments.compare import HeadToHead, format_head_to_head, head_to_head
 from repro.experiments.export import save_sweep_csv, sweep_to_csv
 from repro.experiments.weighted import weighted_schedulability
@@ -14,6 +22,7 @@ from repro.experiments.sweeps import (
     FIGURES,
     SweepDefinition,
     SweepResult,
+    definition_to_spec,
     figure1_nsu,
     figure2_ifc,
     figure3_alpha,
@@ -33,6 +42,8 @@ __all__ = [
     "AllocationStep",
     "FIGURES",
     "HeadToHead",
+    "PointResult",
+    "SweepArtifact",
     "format_head_to_head",
     "head_to_head",
     "SchemeSpec",
@@ -40,6 +51,7 @@ __all__ = [
     "SweepResult",
     "allocation_trace",
     "default_schemes",
+    "definition_to_spec",
     "evaluate_point",
     "figure1_nsu",
     "figure2_ifc",

@@ -5,18 +5,22 @@ This module runs every scheme on the same batch and reports the pairwise
 dominance matrix: ``wins[a][b]`` counts the task sets that scheme ``a``
 schedules and scheme ``b`` does not.  A scheme that strictly dominates
 another has a zero in the mirrored cell.
+
+:func:`head_to_head` is a thin builder over the engine: it lowers the
+request to a ``kind="h2h"`` :class:`~repro.engine.PointSpec`, so the
+comparison shards, parallelizes, and checkpoints exactly like the
+figure sweeps (an interrupted 50 000-set comparison resumes too).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.experiments.runner import SchemeSpec
-from repro.gen.generator import generate_taskset
+from repro.engine.core import Engine, ProgressHook
+from repro.engine.spec import PointSpec, SchemeSpec
+from repro.engine.store import ResultStore
 from repro.gen.params import WorkloadConfig
-from repro.types import ReproError
 
 __all__ = ["HeadToHead", "head_to_head", "format_head_to_head"]
 
@@ -39,30 +43,20 @@ def head_to_head(
     schemes: list[SchemeSpec],
     sets: int = 200,
     seed: int = 2016,
+    jobs: int | None = 1,
+    store: ResultStore | str | os.PathLike | None = None,
+    progress: ProgressHook | None = None,
 ) -> HeadToHead:
     """Run every scheme on the same ``sets`` task sets and tally wins."""
-    if sets < 1:
-        raise ReproError(f"sets must be >= 1, got {sets}")
-    labels = [s.label for s in schemes]
-    if len(set(labels)) != len(labels):
-        raise ReproError(f"duplicate scheme labels: {labels}")
-    partitioners = [(s.label, s.build()) for s in schemes]
-    accepted = {label: 0 for label in labels}
-    wins = {a: {b: 0 for b in labels if b != a} for a in labels}
-    for i in range(sets):
-        rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
-        taskset = generate_taskset(config, rng)
-        outcome = {
-            label: p.partition(taskset, config.cores).schedulable
-            for label, p in partitioners
-        }
-        for a in labels:
-            accepted[a] += outcome[a]
-            for b in labels:
-                if a != b and outcome[a] and not outcome[b]:
-                    wins[a][b] += 1
+    point = PointSpec(
+        config=config, schemes=tuple(schemes), sets=sets, seed=seed, kind="h2h"
+    )
+    merged = Engine(jobs=jobs, store=store, progress=progress).evaluate(point)
     return HeadToHead(
-        labels=tuple(labels), accepted=accepted, wins=wins, sets=sets
+        labels=tuple(merged["labels"]),
+        accepted=merged["accepted"],
+        wins=merged["wins"],
+        sets=merged["sets"],
     )
 
 

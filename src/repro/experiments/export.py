@@ -1,8 +1,10 @@
-"""CSV export for sweep results.
+"""CSV export for sweep artifacts.
 
 Each figure's data exports as a tidy long-format CSV — one row per
 (swept value, scheme, metric) — the layout plotting tools and notebooks
-consume without reshaping.
+consume without reshaping.  Input is the engine's structured
+:class:`~repro.engine.SweepArtifact`, the same object every other
+renderer reads.
 """
 
 from __future__ import annotations
@@ -11,14 +13,14 @@ import csv
 import io
 from pathlib import Path
 
-from repro.experiments.sweeps import SweepResult
+from repro.engine.artifact import SweepArtifact
 
 __all__ = ["sweep_to_csv", "save_sweep_csv"]
 
 _METRICS = ("sched_ratio", "u_sys", "u_avg", "imbalance")
 
 
-def sweep_to_csv(result: SweepResult) -> str:
+def sweep_to_csv(result: SweepArtifact) -> str:
     """The sweep as a long-format CSV string."""
     buf = io.StringIO()
     writer = csv.writer(buf, lineterminator="\n")
@@ -26,14 +28,13 @@ def sweep_to_csv(result: SweepResult) -> str:
         ["figure", "parameter", "value", "scheme", "metric", "result",
          "sets_per_point", "seed"]
     )
-    d = result.definition
-    for i, value in enumerate(d.values):
+    for i, value in enumerate(result.values):
         for scheme, stats in result.rows[i].items():
             for metric in _METRICS:
                 writer.writerow(
                     [
-                        d.figure,
-                        d.parameter,
+                        result.figure,
+                        result.parameter,
                         value,
                         scheme,
                         metric,
@@ -45,5 +46,5 @@ def sweep_to_csv(result: SweepResult) -> str:
     return buf.getvalue()
 
 
-def save_sweep_csv(result: SweepResult, path: str | Path) -> None:
+def save_sweep_csv(result: SweepArtifact, path: str | Path) -> None:
     Path(path).write_text(sweep_to_csv(result))

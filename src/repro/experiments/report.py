@@ -1,9 +1,15 @@
-"""Plain-text rendering of sweep results and the worked-example tables.
+"""Plain-text rendering of sweep artifacts and the worked-example tables.
 
 The paper's figures are line charts; this module prints the same data as
 aligned text tables (one per panel) so every figure regenerates without
 a plotting dependency.  The panel letters match the paper:
 (a) schedulability ratio, (b) U_sys, (c) U_avg, (d) imbalance Lambda.
+
+Everything renders from the one structured
+:class:`~repro.engine.SweepArtifact` schema the engine produces — the
+CSV exporter, the weighted-schedulability summary, and the CLI read the
+same object, so a renderer can be checked against a stored artifact
+without re-running the sweep.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.experiments.sweeps import SweepResult
+from repro.engine.artifact import SweepArtifact
 from repro.experiments.tables import AllocationStep, table1_rows
 from repro.model.taskset import MCTaskSet
 
@@ -36,24 +42,23 @@ def _fmt(value: float) -> str:
     return f"{value:6.3f}"
 
 
-def format_panel(result: SweepResult, metric: str, heading: str) -> str:
+def format_panel(result: SweepArtifact, metric: str, heading: str) -> str:
     """One metric as a values-by-scheme text table."""
     schemes = result.schemes
-    param = result.definition.parameter
+    param = result.parameter
     header = f"{param:>8} | " + " ".join(f"{s:>8}" for s in schemes)
     lines = [heading, "-" * len(header), header, "-" * len(header)]
     series = result.series(metric)
-    for i, value in enumerate(result.definition.values):
+    for i, value in enumerate(result.values):
         cells = " ".join(f"{_fmt(series[s][i]):>8}" for s in schemes)
         lines.append(f"{value!s:>8} | {cells}")
     return "\n".join(lines)
 
 
-def format_sweep(result: SweepResult) -> str:
+def format_sweep(result: SweepArtifact) -> str:
     """All four panels of one figure, paper-style."""
-    d = result.definition
     out = [
-        f"{d.figure.upper()}: {d.title}",
+        f"{result.figure.upper()}: {result.title}",
         f"({result.sets_per_point} task sets per data point, seed {result.seed})",
         "",
     ]

@@ -1,87 +1,28 @@
 """Batch evaluation of partitioning schemes over random workloads.
 
 One *data point* = (:class:`~repro.gen.WorkloadConfig`, list of scheme
-specs, number of task sets).  For every generated task set each scheme
-partitions it and the per-scheme accumulators collect the four paper
-metrics.  The batch is sharded across a :class:`ProcessPoolExecutor`
-(partitioning is pure CPU-bound Python/NumPy — process pools are the
-right parallelism tool here; see the HPC guides), with per-set
-``SeedSequence(seed, spawn_key=(i,))`` streams so results are
-bit-reproducible regardless of the worker count.
+specs, number of task sets).  Since the engine refactor this module is a
+thin façade over :mod:`repro.engine`: :func:`evaluate_point` builds a
+declarative :class:`~repro.engine.PointSpec` and hands it to the
+:class:`~repro.engine.Engine`, which shards the batch across a
+``ProcessPoolExecutor`` (per-set ``SeedSequence(seed, spawn_key=(i,))``
+streams keep results bit-reproducible regardless of the worker count)
+and, when given a store, checkpoints completed shards so interrupted
+runs resume.  :class:`SchemeSpec` and :func:`default_schemes` are
+re-exported from :mod:`repro.engine.spec` for backwards compatibility.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 
-import numpy as np
-
-from repro.gen.generator import generate_taskset
+from repro.engine.core import Engine, ProgressHook
+from repro.engine.spec import PointSpec, SchemeSpec, default_schemes
+from repro.engine.store import ResultStore
 from repro.gen.params import WorkloadConfig
-from repro.metrics.aggregate import SchemeAccumulator, SchemeStats
-from repro.partition.registry import get_partitioner
-from repro.types import ReproError
+from repro.metrics.aggregate import SchemeStats
 
 __all__ = ["SchemeSpec", "evaluate_point", "default_schemes"]
-
-
-@dataclass(frozen=True)
-class SchemeSpec:
-    """Picklable description of one scheme configuration.
-
-    ``label`` is the reporting key (defaults to ``name``); ``kwargs``
-    are forwarded to the registry factory.
-    """
-
-    name: str
-    kwargs: tuple[tuple[str, object], ...] = ()
-    label: str = ""
-
-    def __post_init__(self) -> None:
-        if not self.label:
-            object.__setattr__(self, "label", self.name)
-
-    @classmethod
-    def make(cls, name: str, label: str = "", **kwargs) -> "SchemeSpec":
-        return cls(name=name, kwargs=tuple(sorted(kwargs.items())), label=label)
-
-    def build(self):
-        return get_partitioner(self.name, **dict(self.kwargs))
-
-
-def default_schemes(alpha: float = 0.7) -> list[SchemeSpec]:
-    """The paper's five schemes: CA-TPA (with ``alpha``) + 4 baselines."""
-    return [
-        SchemeSpec.make("ca-tpa", alpha=alpha),
-        SchemeSpec.make("ffd"),
-        SchemeSpec.make("bfd"),
-        SchemeSpec.make("wfd"),
-        SchemeSpec.make("hybrid"),
-    ]
-
-
-def _run_shard(
-    config: WorkloadConfig,
-    schemes: tuple[SchemeSpec, ...],
-    seed: int,
-    start: int,
-    count: int,
-) -> list[SchemeAccumulator]:
-    """Evaluate task sets ``start .. start+count-1`` of the batch."""
-    partitioners = [(spec.label, spec.build()) for spec in schemes]
-    accs = {label: SchemeAccumulator(label) for label, _ in partitioners}
-    for i in range(start, start + count):
-        rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
-        taskset = generate_taskset(config, rng)
-        for label, partitioner in partitioners:
-            result = partitioner.partition(taskset, config.cores)
-            # Accumulators are keyed by label, which may differ from the
-            # partitioner's registry name (e.g. alpha variants).
-            accs[label].add(result, check_scheme=False)
-    return list(accs.values())
 
 
 def evaluate_point(
@@ -90,6 +31,8 @@ def evaluate_point(
     sets: int = 200,
     seed: int = 2016,
     jobs: int | None = 1,
+    store: ResultStore | str | os.PathLike | None = None,
+    progress: ProgressHook | None = None,
 ) -> dict[str, SchemeStats]:
     """Evaluate all schemes on ``sets`` random task sets.
 
@@ -98,61 +41,20 @@ def evaluate_point(
     jobs:
         Worker processes; 1 (default) runs inline — deterministic either
         way.  ``None`` uses ``os.cpu_count()``.
+    store:
+        Optional :class:`~repro.engine.ResultStore` (or path).  With a
+        store, completed shards are checkpointed and re-runs resume.
+    progress:
+        Optional per-shard observability hook (see
+        :class:`~repro.engine.Engine`).
 
     Returns
     -------
     dict mapping scheme label to its :class:`SchemeStats`.
     """
-    if sets < 1:
-        raise ReproError(f"sets must be >= 1, got {sets}")
     if schemes is None:
         schemes = default_schemes()
-    labels = [s.label for s in schemes]
-    if len(set(labels)) != len(labels):
-        raise ReproError(f"duplicate scheme labels: {labels}")
-    specs = tuple(schemes)
-
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    jobs = max(1, min(jobs, sets))
-
-    if jobs == 1:
-        shards = [_run_shard(config, specs, seed, 0, sets)]
-    else:
-        bounds = np.linspace(0, sets, jobs + 1).astype(int)
-        ranges = [
-            (int(bounds[w]), int(bounds[w + 1] - bounds[w]))
-            for w in range(jobs)
-            if bounds[w + 1] > bounds[w]
-        ]
-        shards = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(_run_shard, config, specs, seed, start, count)
-                for start, count in ranges
-            ]
-            for future, (start, count) in zip(futures, ranges):
-                try:
-                    shards.append(future.result())
-                except BrokenProcessPool as pool_exc:
-                    # A crashed worker poisons the whole pool and every
-                    # pending future; salvage the batch by re-running
-                    # this shard inline (the shard is self-seeded, so
-                    # the retry is bit-identical to a worker run).
-                    try:
-                        shards.append(
-                            _run_shard(config, specs, seed, start, count)
-                        )
-                    except Exception as retry_exc:
-                        raise ReproError(
-                            f"worker shard [{start}, {start + count}) crashed"
-                            f" ({pool_exc!r}) and the inline retry failed"
-                        ) from retry_exc
-
-    merged: dict[str, SchemeAccumulator] = {
-        label: SchemeAccumulator(label) for label in labels
-    }
-    for shard in shards:
-        for acc in shard:
-            merged[acc.scheme].merge(acc)
-    return {label: merged[label].finalize() for label in labels}
+    point = PointSpec(
+        config=config, schemes=tuple(schemes), sets=sets, seed=seed, kind="stats"
+    )
+    return Engine(jobs=jobs, store=store, progress=progress).evaluate(point)

@@ -6,24 +6,38 @@ and reports four panels per swept value: (a) schedulability ratio,
 (b) system utilization ``U_sys``, (c) average core utilization
 ``U_avg``, and (d) workload imbalance ``Lambda`` — panels (b)-(d) over
 schedulable sets only.
+
+A :class:`SweepDefinition` is a *builder*: :func:`definition_to_spec`
+lowers it to a declarative :class:`~repro.engine.ExperimentSpec`, and
+:func:`run_sweep` evaluates that spec on the resumable
+:class:`~repro.engine.Engine`, returning the structured
+:class:`~repro.engine.SweepArtifact` every renderer consumes.  Because
+specs are pure data hashed per shard, figures that share a data point
+(Fig. 1-5 all contain the Section IV-A default) reuse each other's
+checkpoints when a store is given.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.experiments.runner import (
+from repro.engine.artifact import SweepArtifact
+from repro.engine.core import Engine, ProgressHook
+from repro.engine.spec import (
+    ExperimentSpec,
+    PointSpec,
     SchemeSpec,
     default_schemes,
-    evaluate_point,
 )
+from repro.engine.store import ResultStore
 from repro.gen.params import CORE_COUNTS, WorkloadConfig
-from repro.metrics.aggregate import SchemeStats
 
 __all__ = [
     "SweepDefinition",
     "SweepResult",
+    "definition_to_spec",
     "figure1_nsu",
     "figure2_ifc",
     "figure3_alpha",
@@ -32,6 +46,11 @@ __all__ = [
     "FIGURES",
     "run_sweep",
 ]
+
+#: Backwards-compatible alias: ``run_sweep`` now returns the engine's
+#: structured artifact, which supports the old ``SweepResult`` surface
+#: (``definition``/``rows``/``series``/``schemes``).
+SweepResult = SweepArtifact
 
 
 @dataclass(frozen=True)
@@ -46,30 +65,29 @@ class SweepDefinition:
     point: Callable[[object], tuple[WorkloadConfig, list[SchemeSpec]]]
 
 
-@dataclass(frozen=True)
-class SweepResult:
-    """All data points of one figure."""
-
-    definition: SweepDefinition
-    sets_per_point: int
-    seed: int
-    #: rows[i] corresponds to definition.values[i]
-    rows: tuple[dict[str, SchemeStats], ...]
-
-    @property
-    def schemes(self) -> list[str]:
-        return list(self.rows[0].keys()) if self.rows else []
-
-    def series(self, metric: str) -> dict[str, list[float]]:
-        """Per-scheme series of ``metric`` across the swept values.
-
-        ``metric`` is one of ``sched_ratio``, ``u_sys``, ``u_avg``,
-        ``imbalance``.
-        """
-        return {
-            scheme: [getattr(row[scheme], metric) for row in self.rows]
-            for scheme in self.schemes
-        }
+def definition_to_spec(
+    definition: SweepDefinition, sets: int = 200, seed: int = 2016
+) -> ExperimentSpec:
+    """Lower a figure definition to a declarative experiment spec."""
+    points = []
+    for value in definition.values:
+        config, schemes = definition.point(value)
+        points.append(
+            PointSpec(
+                config=config,
+                schemes=tuple(schemes),
+                sets=sets,
+                seed=seed,
+                kind="stats",
+            )
+        )
+    return ExperimentSpec(
+        figure=definition.figure,
+        title=definition.title,
+        parameter=definition.parameter,
+        values=tuple(definition.values),
+        points=tuple(points),
+    )
 
 
 def figure1_nsu(
@@ -152,17 +170,14 @@ def run_sweep(
     sets: int = 200,
     seed: int = 2016,
     jobs: int | None = 1,
-) -> SweepResult:
-    """Evaluate every data point of a figure definition."""
-    rows = []
-    for value in definition.values:
-        config, schemes = definition.point(value)
-        rows.append(
-            evaluate_point(config, schemes=schemes, sets=sets, seed=seed, jobs=jobs)
-        )
-    return SweepResult(
-        definition=definition,
-        sets_per_point=sets,
-        seed=seed,
-        rows=tuple(rows),
-    )
+    store: ResultStore | str | os.PathLike | None = None,
+    progress: ProgressHook | None = None,
+) -> SweepArtifact:
+    """Evaluate every data point of a figure definition.
+
+    With a ``store``, completed shards are checkpointed as they finish
+    and later (or interrupted) runs resume from them; results are
+    bit-identical with or without a store and for any ``jobs`` count.
+    """
+    spec = definition_to_spec(definition, sets=sets, seed=seed)
+    return Engine(jobs=jobs, store=store, progress=progress).run(spec)

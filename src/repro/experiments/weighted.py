@@ -10,17 +10,19 @@ over a load parameter ``U`` (here NSU) with per-point acceptance ratios
 
 which rewards schemes that keep accepting at *high* load.  Useful to
 rank schemes across a whole figure instead of eyeballing curves.
+Consumes the engine's :class:`~repro.engine.SweepArtifact` like every
+other renderer.
 """
 
 from __future__ import annotations
 
-from repro.experiments.sweeps import SweepResult
+from repro.engine.artifact import SweepArtifact
 from repro.types import ReproError
 
 __all__ = ["weighted_schedulability"]
 
 
-def weighted_schedulability(result: SweepResult) -> dict[str, float]:
+def weighted_schedulability(result: SweepArtifact) -> dict[str, float]:
     """Per-scheme weighted schedulability over the sweep's values.
 
     The swept values must be numeric and positive (they act as the
@@ -29,7 +31,7 @@ def weighted_schedulability(result: SweepResult) -> dict[str, float]:
     mechanically but should be interpreted with care.
     """
     try:
-        weights = [float(v) for v in result.definition.values]
+        weights = [float(v) for v in result.values]
     except (TypeError, ValueError) as exc:
         raise ReproError("weighted schedulability needs numeric sweep values") from exc
     if any(w <= 0 for w in weights):

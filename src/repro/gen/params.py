@@ -120,3 +120,41 @@ class WorkloadConfig:
     def paper_default(cls) -> "WorkloadConfig":
         """The Section IV-A default configuration."""
         return cls()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`.
+
+        The engine's content-addressed store hashes this dict, so the
+        field set is part of the cache-key contract: adding a workload
+        knob changes every key (a full, safe invalidation).
+        """
+        return {
+            "cores": self.cores,
+            "levels": self.levels,
+            "nsu": self.nsu,
+            "ifc": self.ifc,
+            "task_count_range": list(self.task_count_range),
+            "period_ranges": [list(r) for r in self.period_ranges],
+            "exact_nsu": self.exact_nsu,
+            "crit_weights": (
+                None if self.crit_weights is None else list(self.crit_weights)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadConfig":
+        """Rebuild a config from :meth:`to_dict` output (validates anew)."""
+        return cls(
+            cores=int(data["cores"]),
+            levels=int(data["levels"]),
+            nsu=float(data["nsu"]),
+            ifc=float(data["ifc"]),
+            task_count_range=tuple(data["task_count_range"]),
+            period_ranges=tuple(tuple(r) for r in data["period_ranges"]),
+            exact_nsu=bool(data["exact_nsu"]),
+            crit_weights=(
+                None
+                if data["crit_weights"] is None
+                else tuple(data["crit_weights"])
+            ),
+        )

@@ -31,6 +31,14 @@ from repro.types import ModelError
 __all__ = ["SchemeAccumulator", "SchemeStats"]
 
 
+def _nan_to_none(value: float) -> float | None:
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def _none_to_nan(value) -> float:
+    return float("nan") if value is None else float(value)
+
+
 @dataclass(frozen=True)
 class SchemeStats:
     """Final per-scheme figures for one data point."""
@@ -42,6 +50,34 @@ class SchemeStats:
     u_sys: float  #: mean U_sys over schedulable sets (nan if none)
     u_avg: float  #: mean U_avg over schedulable sets (nan if none)
     imbalance: float  #: mean Lambda over schedulable sets (nan if none)
+
+    def to_dict(self) -> dict:
+        """Strict-JSON form: NaN means (no schedulable sets) map to null.
+
+        Python floats round-trip exactly through ``repr`` in JSON, so
+        :meth:`from_dict` rebuilds a bit-identical ``SchemeStats``.
+        """
+        return {
+            "scheme": self.scheme,
+            "total_sets": self.total_sets,
+            "schedulable_sets": self.schedulable_sets,
+            "sched_ratio": _nan_to_none(self.sched_ratio),
+            "u_sys": _nan_to_none(self.u_sys),
+            "u_avg": _nan_to_none(self.u_avg),
+            "imbalance": _nan_to_none(self.imbalance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchemeStats":
+        return cls(
+            scheme=data["scheme"],
+            total_sets=int(data["total_sets"]),
+            schedulable_sets=int(data["schedulable_sets"]),
+            sched_ratio=_none_to_nan(data["sched_ratio"]),
+            u_sys=_none_to_nan(data["u_sys"]),
+            u_avg=_none_to_nan(data["u_avg"]),
+            imbalance=_none_to_nan(data["imbalance"]),
+        )
 
 
 @dataclass
@@ -87,6 +123,32 @@ class SchemeAccumulator:
         self.u_sys_values.extend(other.u_sys_values)
         self.u_avg_values.extend(other.u_avg_values)
         self.imbalance_values.extend(other.imbalance_values)
+
+    def to_dict(self) -> dict:
+        """Checkpoint form for the engine's shard store.
+
+        Per-set values are recorded only for *schedulable* sets, so they
+        are always finite and survive strict JSON exactly (float ``repr``
+        round-trip); :meth:`finalize` on a restored accumulator is
+        bit-identical to finalizing the original.
+        """
+        return {
+            "scheme": self.scheme,
+            "total_sets": self.total_sets,
+            "u_sys_values": list(self.u_sys_values),
+            "u_avg_values": list(self.u_avg_values),
+            "imbalance_values": list(self.imbalance_values),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchemeAccumulator":
+        return cls(
+            scheme=data["scheme"],
+            total_sets=int(data["total_sets"]),
+            u_sys_values=[float(v) for v in data["u_sys_values"]],
+            u_avg_values=[float(v) for v in data["u_avg_values"]],
+            imbalance_values=[float(v) for v in data["imbalance_values"]],
+        )
 
     def finalize(self) -> SchemeStats:
         """Close the books: means over schedulable sets, ratio over all."""

@@ -1,0 +1,178 @@
+"""Tests for the resumable checkpointed engine.
+
+The load-bearing guarantees: serial, parallel, cold-store, and
+warm-store runs are bit-identical; an interrupted run resumes from the
+checkpointed shards instead of recomputing them; and figures that share
+a data point share checkpoints.
+"""
+
+import pytest
+
+from repro.engine import (
+    Engine,
+    ExperimentSpec,
+    PointSpec,
+    ResultStore,
+    default_schemes,
+    shard_key,
+)
+from repro.experiments.compare import head_to_head
+from repro.experiments.sweeps import definition_to_spec, figure1_nsu, figure2_ifc
+from repro.gen.params import WorkloadConfig
+from repro.types import ReproError
+
+TINY = WorkloadConfig(cores=2, levels=2, nsu=0.6, task_count_range=(6, 9))
+
+
+def _point(sets=8, seed=3, kind="stats") -> PointSpec:
+    return PointSpec(
+        config=TINY, schemes=tuple(default_schemes()), sets=sets, seed=seed, kind=kind
+    )
+
+
+def _spec(sets=6, seed=4) -> ExperimentSpec:
+    points = tuple(
+        PointSpec(
+            config=TINY.with_(nsu=v),
+            schemes=tuple(default_schemes()),
+            sets=sets,
+            seed=seed,
+        )
+        for v in (0.5, 0.7)
+    )
+    return ExperimentSpec(
+        figure="figX",
+        title="tiny sweep",
+        parameter="NSU",
+        values=(0.5, 0.7),
+        points=points,
+    )
+
+
+class TestEquivalence:
+    def test_cold_warm_serial_bit_identical(self, tmp_path):
+        spec = _spec()
+        serial = Engine(jobs=1).run(spec)
+
+        cold_engine = Engine(jobs=3, store=tmp_path)
+        cold = cold_engine.run(spec)
+        assert cold_engine.stats.cache_hits == 0
+        assert cold_engine.stats.cache_misses == cold_engine.stats.shards_planned
+        assert cold_engine.stats.shards_computed == cold_engine.stats.shards_planned
+
+        warm_engine = Engine(jobs=3, store=tmp_path)
+        warm = warm_engine.run(spec)
+        assert warm_engine.stats.cache_hits == warm_engine.stats.shards_planned
+        assert warm_engine.stats.cache_misses == 0
+        assert warm_engine.stats.shards_computed == 0
+
+        # Bit-identical artifacts, not merely approximately equal.
+        assert serial.to_json() == cold.to_json() == warm.to_json()
+
+    def test_storeless_engine_counts_no_cache_traffic(self):
+        engine = Engine(jobs=1)
+        engine.evaluate(_point(sets=4))
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 0
+        assert engine.stats.shards_computed == 1
+
+    def test_evaluate_matches_across_jobs(self, tmp_path):
+        serial = Engine(jobs=1).evaluate(_point())
+        parallel = Engine(jobs=4).evaluate(_point())
+        assert serial == parallel
+
+
+class _Abort(RuntimeError):
+    """Stands in for SIGKILL / Ctrl-C in the resume test."""
+
+
+class TestResume:
+    def test_interrupted_run_resumes_from_checkpoints(self, tmp_path):
+        point = _point(sets=8)
+        baseline = Engine(jobs=1).evaluate(point)
+
+        computed = []
+
+        def die_after_two(event):
+            if event["event"] == "shard" and not event["cached"]:
+                computed.append(event)
+                if len(computed) == 2:
+                    raise _Abort("killed mid-sweep")
+
+        first = Engine(jobs=4, store=tmp_path, progress=die_after_two)
+        with pytest.raises(_Abort):
+            first.evaluate(point)
+        # Shards are checkpointed the moment they finish, before the
+        # progress event fires — the two finished ones survived the kill.
+        assert len(ResultStore(tmp_path)) == 2
+
+        resumed = Engine(jobs=4, store=tmp_path)
+        result = resumed.evaluate(point)
+        assert resumed.stats.cache_hits == 2
+        assert resumed.stats.cache_misses == 2
+        assert resumed.stats.shards_computed == 2
+        assert result == baseline
+
+    def test_shared_point_across_figures_hits_cache(self, tmp_path):
+        # Fig. 1 at NSU=0.6 and Fig. 2 at IFC=0.4 are both the Section
+        # IV-A default point: same config content, same shard keys.
+        fig1 = definition_to_spec(figure1_nsu(nsu_values=(0.6,)), sets=10, seed=2)
+        fig2 = definition_to_spec(figure2_ifc(ifc_values=(0.4,)), sets=10, seed=2)
+        assert shard_key(fig1.points[0], 0, 10) == shard_key(fig2.points[0], 0, 10)
+
+    def test_overlapping_tiny_specs_share_checkpoints(self, tmp_path):
+        shared = _point(sets=6, seed=9)
+        Engine(jobs=1, store=tmp_path).evaluate(shared)
+
+        second = Engine(jobs=1, store=tmp_path)
+        second.evaluate(_point(sets=6, seed=9))
+        assert second.stats.cache_hits == 1
+        assert second.stats.shards_computed == 0
+
+
+class TestHeadToHeadThroughEngine:
+    def test_parallel_matches_serial(self):
+        serial = head_to_head(TINY, default_schemes(), sets=9, seed=5, jobs=1)
+        parallel = head_to_head(TINY, default_schemes(), sets=9, seed=5, jobs=3)
+        assert serial == parallel
+
+    def test_warm_run_matches_cold(self, tmp_path):
+        cold = head_to_head(TINY, default_schemes(), sets=9, seed=5, store=tmp_path)
+        warm = head_to_head(TINY, default_schemes(), sets=9, seed=5, store=tmp_path)
+        assert warm == cold
+
+    def test_h2h_and_stats_shards_do_not_collide(self, tmp_path):
+        # Same content, different kind: the store must keep them apart.
+        assert shard_key(_point(kind="stats"), 0, 8) != shard_key(
+            _point(kind="h2h"), 0, 8
+        )
+
+    def test_mismatched_kind_payload_rejected(self):
+        from repro.engine.core import _decode_shard
+
+        with pytest.raises(ReproError, match="kind"):
+            _decode_shard("stats", {"kind": "h2h"})
+
+
+class TestRunValidation:
+    def test_run_rejects_h2h_points(self):
+        spec = _spec(sets=2)
+        bad = ExperimentSpec(
+            figure=spec.figure,
+            title=spec.title,
+            parameter=spec.parameter,
+            values=(0.5,),
+            points=(_point(sets=2, kind="h2h"),),
+        )
+        with pytest.raises(ReproError, match="stats"):
+            Engine(jobs=1).run(bad)
+
+    def test_progress_events_cover_points_and_shards(self):
+        events = []
+        engine = Engine(jobs=1, progress=events.append)
+        engine.run(_spec(sets=4))
+        kinds = [e["event"] for e in events]
+        assert kinds.count("point") == 2
+        assert kinds.count("shard") == 2
+        shard_events = [e for e in events if e["event"] == "shard"]
+        assert all(not e["cached"] and e["seconds"] >= 0 for e in shard_events)

@@ -1,0 +1,87 @@
+"""Tests for the content-addressed shard checkpoint store."""
+
+from repro.engine.spec import PointSpec, SchemeSpec, default_schemes
+from repro.engine.store import ResultStore, shard_key
+from repro.gen.params import WorkloadConfig
+
+
+def _point(**overrides) -> PointSpec:
+    fields = dict(
+        config=WorkloadConfig(cores=2),
+        schemes=tuple(default_schemes()),
+        sets=20,
+        seed=5,
+        kind="stats",
+    )
+    fields.update(overrides)
+    return PointSpec(**fields)
+
+
+class TestShardKey:
+    def test_deterministic(self):
+        assert shard_key(_point(), 0, 10) == shard_key(_point(), 0, 10)
+
+    def test_sensitive_to_every_input(self):
+        base = shard_key(_point(), 0, 10)
+        assert shard_key(_point(seed=6), 0, 10) != base
+        assert shard_key(_point(config=WorkloadConfig(cores=4)), 0, 10) != base
+        assert shard_key(_point(schemes=(SchemeSpec.make("ffd"),)), 0, 10) != base
+        assert shard_key(_point(kind="h2h"), 0, 10) != base
+        assert shard_key(_point(), 5, 10) != base
+        assert shard_key(_point(), 0, 5) != base
+
+    def test_key_ignores_total_sets(self):
+        # The shard range, not the point's total, addresses the content:
+        # a 2000-set re-run reuses the shards of an earlier 1000-set run
+        # wherever the ranges line up.
+        assert shard_key(_point(sets=20), 0, 10) == shard_key(_point(sets=40), 0, 10)
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("ab" * 32, {"x": [1.5, 2.5], "kind": "stats"})
+        assert store.get("ab" * 32) == {"x": [1.5, 2.5], "kind": "stats"}
+        assert store.hits == 1 and store.misses == 0
+
+    def test_miss_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("cd" * 32) is None
+        assert store.misses == 1
+
+    def test_contains_and_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert len(store) == 0
+        store.put("ab" * 32, {"v": 1})
+        store.put("cd" * 32, {"v": 2})
+        assert "ab" * 32 in store
+        assert "ef" * 32 not in store
+        assert len(store) == 2
+
+    def test_corrupt_entry_is_purged_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" * 32
+        store.put(key, {"v": 1})
+        store._path(key).write_text("{torn checkpoint")
+        assert store.get(key) is None
+        assert store.misses == 1
+        assert key not in store  # purged, not left to fail again
+
+    def test_no_temp_residue(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("ab" * 32, {"v": 1})
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix != ".json" and p.is_file()]
+        assert leftovers == []
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("ab" * 32, {"v": 1})
+        store.put("cd" * 32, {"v": 2})
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_env_var_names_default_root(self, tmp_path, monkeypatch):
+        from repro.engine.store import default_store_root
+
+        monkeypatch.setenv("REPRO_MC_STORE", str(tmp_path / "elsewhere"))
+        assert default_store_root() == tmp_path / "elsewhere"

@@ -1,0 +1,112 @@
+"""CLI smoke tests: parser round-trips and tiny end-to-end runs."""
+
+import dataclasses
+
+import pytest
+
+from repro import cli
+from repro.engine import SweepArtifact
+from repro.experiments import sweeps
+
+SUBCOMMANDS = ["fig1", "fig2", "fig3", "fig4", "fig5", "tables", "all"]
+
+
+def _tiny_fig1():
+    d = sweeps.figure1_nsu(nsu_values=(0.5,))
+    base_point = d.point
+
+    def small_point(v):
+        config, schemes = base_point(v)
+        return config.with_(cores=2, task_count_range=(5, 6)), schemes
+
+    return dataclasses.replace(d, point=small_point)
+
+
+@pytest.fixture
+def tiny_fig1(monkeypatch, tmp_path):
+    """Shrink fig1 and sandbox the checkpoint store."""
+    monkeypatch.setitem(cli.FIGURES, "fig1", _tiny_fig1)
+    monkeypatch.setenv("REPRO_MC_STORE", str(tmp_path / "store"))
+    return tmp_path
+
+
+class TestParser:
+    @pytest.mark.parametrize("name", SUBCOMMANDS)
+    def test_every_subcommand_round_trips(self, name):
+        args = cli.build_parser().parse_args([name, "--sets", "2", "--jobs", "2"])
+        assert args.experiment == name
+        assert args.sets == 2
+        assert args.jobs == 2
+
+    def test_defaults(self):
+        args = cli.build_parser().parse_args(["fig1"])
+        assert args.sets == 500
+        assert args.seed == 2016
+        assert args.jobs == 1
+        assert args.csv is None
+        assert args.json is None
+        assert args.store is None
+        assert not args.no_store
+        assert not args.progress
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["fig9"])
+
+    def test_store_flags_round_trip(self, tmp_path):
+        args = cli.build_parser().parse_args(
+            ["fig2", "--store", str(tmp_path), "--progress"]
+        )
+        assert args.store == str(tmp_path)
+        assert args.progress
+
+    def test_no_store_round_trips(self):
+        assert cli.build_parser().parse_args(["all", "--no-store"]).no_store
+
+
+class TestMain:
+    def test_fig1_tiny_run_exits_zero_with_markers(self, tiny_fig1, capsys):
+        assert cli.main(["fig1", "--sets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1: Performance of the algorithms with varying NSU" in out
+        assert "(2 task sets per data point, seed 2016)" in out
+        assert "(a) Schedulability ratio" in out
+        assert "(d) Workload imbalance Lambda" in out
+        assert "[fig1 regenerated in" in out
+
+    def test_tables_run_exits_zero_with_markers(self, capsys):
+        assert cli.main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I: timing parameters" in out
+        assert "Table II: allocations under FFD" in out
+        assert "Table III: allocations under CA-TPA" in out
+
+    def test_progress_reports_cache_hits_on_rerun(self, tiny_fig1, capsys):
+        assert cli.main(["fig1", "--sets", "2", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[fig1 NSU=0.5]" in err
+        assert "computed in" in err
+        assert "1 misses" in err
+
+        assert cli.main(["fig1", "--sets", "2", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "cache hit" in err
+        assert "1 cache hits, 0 misses, 0 computed" in err
+
+    def test_no_store_disables_checkpointing(self, tiny_fig1, capsys):
+        assert cli.main(["fig1", "--sets", "2", "--no-store"]) == 0
+        assert not (tiny_fig1 / "store").exists()
+
+    def test_json_flag_writes_loadable_artifact(self, tiny_fig1, capsys):
+        out_dir = tiny_fig1 / "artifacts"
+        assert cli.main(["fig1", "--sets", "2", "--json", str(out_dir)]) == 0
+        artifact = SweepArtifact.from_json((out_dir / "fig1.json").read_text())
+        assert artifact.figure == "fig1"
+        assert artifact.sets_per_point == 2
+        assert artifact.values == (0.5,)
+
+    def test_store_flag_overrides_env(self, tiny_fig1, capsys):
+        custom = tiny_fig1 / "custom-store"
+        assert cli.main(["fig1", "--sets", "2", "--store", str(custom)]) == 0
+        assert custom.exists()
+        assert not (tiny_fig1 / "store").exists()

@@ -78,6 +78,7 @@ class TestCliCsvFlag:
             return dc.replace(d, point=small_point)
 
         monkeypatch.setitem(cli.FIGURES, "fig1", tiny_fig1)
+        monkeypatch.setenv("REPRO_MC_STORE", str(tmp_path / "store"))
         assert cli.main(["fig1", "--sets", "3", "--csv", str(tmp_path / "csv")]) == 0
         out = (tmp_path / "csv" / "fig1.csv").read_text()
         assert "sched_ratio" in out
@@ -106,11 +107,6 @@ class TestWeightedSchedulability:
         from repro.experiments import weighted_schedulability
         from repro.types import ReproError
 
-        broken = dataclasses.replace(
-            tiny_result,
-            definition=dataclasses.replace(
-                tiny_result.definition, values=("a", "b")
-            ),
-        )
+        broken = dataclasses.replace(tiny_result, values=("a", "b"))
         with pytest.raises(ReproError):
             weighted_schedulability(broken)

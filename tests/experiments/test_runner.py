@@ -5,8 +5,8 @@ from concurrent.futures.process import BrokenProcessPool
 import numpy as np
 import pytest
 
+from repro.engine import core as engine_core
 from repro.experiments import SchemeSpec, default_schemes, evaluate_point
-from repro.experiments import runner as runner_module
 from repro.gen import WorkloadConfig
 from repro.partition.probe import use_probe_implementation
 from repro.types import ReproError
@@ -124,18 +124,18 @@ class TestEvaluatePoint:
 class TestWorkerCrashRecovery:
     def test_broken_pool_shards_are_rerun_inline(self, monkeypatch):
         expected = evaluate_point(SMALL, sets=10, seed=9, jobs=1)
-        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _BrokenPool)
+        monkeypatch.setattr(engine_core, "ProcessPoolExecutor", _BrokenPool)
         recovered = evaluate_point(SMALL, sets=10, seed=9, jobs=3)
         # Every shard fell back to the inline path; the self-seeded
         # shards make the recovery bit-identical to a clean run.
         assert recovered == expected
 
     def test_double_failure_raises_repro_error_naming_shard(self, monkeypatch):
-        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _BrokenPool)
+        monkeypatch.setattr(engine_core, "ProcessPoolExecutor", _BrokenPool)
 
         def explode(*args, **kwargs):
             raise RuntimeError("inline retry also died")
 
-        monkeypatch.setattr(runner_module, "_run_shard", explode)
+        monkeypatch.setitem(engine_core._SHARD_RUNNERS, "stats", explode)
         with pytest.raises(ReproError, match=r"shard \[0, 3\)"):
             evaluate_point(SMALL, sets=10, seed=9, jobs=3)

@@ -74,3 +74,42 @@ class TestAccumulator:
         stats = acc.finalize()
         assert stats.schedulable_sets == 1
         assert 0.0 <= stats.u_sys <= 1.0
+
+
+class TestJsonRoundTrip:
+    """The engine checkpoints accumulators and stats as strict JSON."""
+
+    def _loaded(self):
+        acc = SchemeAccumulator("ffd")
+        acc.add(result_for([0.5, 0.4]))
+        acc.add(result_for([0.9, 0.9, 0.9]))
+        acc.add(result_for([0.3]))
+        return acc
+
+    def test_accumulator_round_trip_is_bit_identical(self):
+        import json
+
+        acc = self._loaded()
+        restored = SchemeAccumulator.from_dict(json.loads(json.dumps(acc.to_dict())))
+        assert restored == acc
+        assert restored.finalize() == acc.finalize()
+
+    def test_stats_round_trip_is_bit_identical(self):
+        import json
+
+        stats = self._loaded().finalize()
+        restored = type(stats).from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert restored == stats
+
+    def test_nan_means_map_to_null_and_back(self):
+        import json
+
+        acc = SchemeAccumulator("ffd")
+        acc.add(result_for([0.9, 0.9, 0.9]))  # unschedulable on 2 cores
+        stats = acc.finalize()
+        data = stats.to_dict()
+        json.dumps(data, allow_nan=False)  # strict JSON must accept it
+        assert data["u_sys"] is None and data["sched_ratio"] == 0.0
+        restored = type(stats).from_dict(data)
+        assert math.isnan(restored.u_sys)
+        assert restored.to_dict() == data
