@@ -21,15 +21,23 @@ Run everything the paper reports (this is the long one; interrupting it
 is safe — a re-run resumes from the checkpointed shards)::
 
     repro-mc all --sets 2000 --jobs 0 --progress
+
+Instrumented runs write full provenance: ``--json DIR`` drops a
+``<figure>.manifest.json`` run manifest next to each artifact,
+``--metrics PATH`` dumps the merged counter/summary snapshot, and
+``--log-json PATH`` streams structured JSONL events.  ``repro-mc
+inspect out/fig1.json`` pretty-prints the manifest of a past run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
+from repro._version import __version__
 from repro.engine import Engine, ResultStore, default_store_root
 from repro.experiments.report import (
     format_allocation_trace,
@@ -38,10 +46,44 @@ from repro.experiments.report import (
 )
 from repro.experiments.sweeps import FIGURES, definition_to_spec
 from repro.experiments.tables import allocation_trace, paper_example_taskset
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    build_manifest,
+    format_manifest,
+    git_describe,
+    load_manifest,
+    manifest_path_for,
+    new_run_id,
+    write_manifest,
+)
+from repro.obs import runtime as obs_runtime
 from repro.partition.catpa import CATPA
 from repro.partition.classical import FirstFitDecreasing
+from repro.types import ReproError
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "version_string"]
+
+
+def version_string() -> str:
+    """``repro-mc <version>``, with git describe when in a work tree."""
+    described = git_describe()
+    base = f"repro-mc {__version__}"
+    return f"{base} ({described})" if described else base
+
+
+class _VersionAction(argparse.Action):
+    """Like ``action="version"`` but resolves git describe lazily, so
+    building the parser never shells out."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "print the version (with git describe) and exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(version_string())
+        parser.exit()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,9 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*FIGURES.keys(), "tables", "all"],
-        help="which paper artifact to regenerate",
+        choices=[*FIGURES.keys(), "tables", "all", "inspect"],
+        help=(
+            "which paper artifact to regenerate, or 'inspect' to "
+            "pretty-print the run manifest of an existing artifact"
+        ),
     )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="artifact or manifest paths (inspect only)",
+    )
+    parser.add_argument("--version", action=_VersionAction)
     parser.add_argument(
         "--sets",
         type=int,
@@ -107,6 +159,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream per-shard timing and cache hit/miss counts to stderr",
     )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="stream structured run events (JSON lines) to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the merged instrumentation counters/summaries of the "
+            "whole invocation to PATH as JSON"
+        ),
+    )
     return parser
 
 
@@ -149,8 +216,41 @@ def _progress_hook(stream):
     return hook
 
 
+def _inspect(paths: list[str], out) -> int:
+    """Pretty-print the run manifest next to each artifact path."""
+    if not paths:
+        print(
+            "repro-mc inspect: pass at least one artifact or manifest path",
+            file=sys.stderr,
+        )
+        return 2
+    for i, raw in enumerate(paths):
+        path = Path(raw)
+        if not path.name.endswith(".manifest.json"):
+            path = manifest_path_for(path)
+        try:
+            manifest = load_manifest(path)
+        except ReproError as exc:
+            print(f"repro-mc inspect: {exc}", file=sys.stderr)
+            return 1
+        if i:
+            print("", file=out)
+        print(format_manifest(manifest), file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    command = list(argv) if argv is not None else sys.argv[1:]
+    if args.experiment == "inspect":
+        return _inspect(args.paths, args.out)
+    if args.paths:
+        print(
+            f"repro-mc {args.experiment}: unexpected positional arguments "
+            f"{args.paths} (paths are for the inspect subcommand)",
+            file=sys.stderr,
+        )
+        return 2
     jobs = None if args.jobs == 0 else args.jobs
     names = list(FIGURES) + ["tables"] if args.experiment == "all" else [args.experiment]
 
@@ -160,36 +260,88 @@ def main(argv: list[str] | None = None) -> int:
         store = ResultStore(root)
     progress = _progress_hook(sys.stderr) if args.progress else None
 
-    for name in names:
-        start = time.perf_counter()
-        if name == "tables":
-            text = _render_tables()
-        else:
-            engine = Engine(jobs=jobs, store=store, progress=progress)
-            spec = definition_to_spec(FIGURES[name](), sets=args.sets, seed=args.seed)
-            artifact = engine.run(spec)
-            text = format_sweep(artifact)
-            if args.csv is not None:
-                from repro.experiments.export import save_sweep_csv
+    # One run id + (optional) shared event log per invocation; each
+    # figure gets a fresh registry whose dump is merged into the totals
+    # that --metrics writes at the end.
+    instrumented = bool(args.log_json or args.metrics or args.json)
+    run_id = new_run_id() if instrumented else None
+    sink = JsonlSink(args.log_json) if args.log_json else None
+    totals = MetricsRegistry()
 
-                directory = Path(args.csv)
-                directory.mkdir(parents=True, exist_ok=True)
-                save_sweep_csv(artifact, directory / f"{name}.csv")
-            if args.json is not None:
-                directory = Path(args.json)
-                directory.mkdir(parents=True, exist_ok=True)
-                (directory / f"{name}.json").write_text(artifact.to_json() + "\n")
-            if args.progress:
-                s = engine.stats
-                print(
-                    f"[{name}: {s.shards_planned} shards planned, "
-                    f"{s.cache_hits} cache hits, {s.cache_misses} misses, "
-                    f"{s.shards_computed} computed in {s.compute_seconds:.2f}s]",
-                    file=sys.stderr,
+    try:
+        for name in names:
+            start = time.perf_counter()
+            if name == "tables":
+                text = _render_tables()
+            else:
+                engine = Engine(jobs=jobs, store=store, progress=progress)
+                spec = definition_to_spec(
+                    FIGURES[name](), sets=args.sets, seed=args.seed
                 )
-        elapsed = time.perf_counter() - start
-        print(text, file=args.out)
-        print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=args.out)
+                figure_metrics = None
+                if instrumented:
+                    with obs_runtime.instrument(sink=sink, run_id=run_id) as state:
+                        obs_runtime.emit("cli.figure_start", figure=name)
+                        artifact = engine.run(spec)
+                        figure_metrics = state.registry.snapshot()
+                        totals.merge(state.registry.dump())
+                else:
+                    artifact = engine.run(spec)
+                text = format_sweep(artifact)
+                if args.csv is not None:
+                    from repro.experiments.export import save_sweep_csv
+
+                    directory = Path(args.csv)
+                    directory.mkdir(parents=True, exist_ok=True)
+                    save_sweep_csv(artifact, directory / f"{name}.csv")
+                if args.json is not None:
+                    directory = Path(args.json)
+                    directory.mkdir(parents=True, exist_ok=True)
+                    artifact_path = directory / f"{name}.json"
+                    artifact_path.write_text(artifact.to_json() + "\n")
+                    manifest = build_manifest(
+                        run_id=run_id,
+                        command=command,
+                        figure=name,
+                        sets=args.sets,
+                        seed=args.seed,
+                        jobs=args.jobs,
+                        artifact_path=artifact_path,
+                        engine_stats=engine.stats.as_dict(),
+                        metrics=figure_metrics,
+                        events_log=args.log_json,
+                    )
+                    write_manifest(manifest_path_for(artifact_path), manifest)
+                if args.progress:
+                    s = engine.stats
+                    print(
+                        f"[{name}: {s.shards_planned} shards planned, "
+                        f"{s.cache_hits} cache hits, {s.cache_misses} misses, "
+                        f"{s.shards_computed} computed in {s.compute_seconds:.2f}s]",
+                        file=sys.stderr,
+                    )
+            elapsed = time.perf_counter() - start
+            print(text, file=args.out)
+            print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=args.out)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    if args.metrics is not None:
+        metrics_path = Path(args.metrics)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(
+                {
+                    "run_id": run_id,
+                    "repro_version": __version__,
+                    "command": command,
+                    "metrics": totals.snapshot(),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
     return 0
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -32,18 +33,28 @@ from repro.engine.store import ResultStore, shard_key
 from repro.gen.generator import generate_taskset
 from repro.gen.params import WorkloadConfig
 from repro.metrics.aggregate import SchemeAccumulator, SchemeStats
+from repro.obs import runtime as obs
+from repro.obs.metrics import Summary
 from repro.types import ReproError
 
 __all__ = ["Engine", "EngineRunStats", "run_experiment"]
 
 #: Progress hook: called with one event dict per shard / point; see
-#: :meth:`Engine._emit` for the event shapes.
+#: :meth:`Engine._emit` for the event shapes.  Hooks are *advisory*: an
+#: exception raised by a hook is caught, warned about once, and disables
+#: the hook for the rest of the run — it never aborts a sweep
+#: (``KeyboardInterrupt``/``SystemExit`` still propagate).
 ProgressHook = Callable[[dict], None]
 
 
 @dataclass
 class EngineRunStats:
-    """Observability counters for one engine lifetime."""
+    """Observability counters for one engine lifetime.
+
+    ``shard_seconds`` is a bounded :class:`~repro.obs.Summary`
+    (count/total/min/max/p50/p95), so a million-shard sweep costs a few
+    hundred floats of memory, not a million.
+    """
 
     points: int = 0
     shards_planned: int = 0
@@ -51,7 +62,10 @@ class EngineRunStats:
     cache_misses: int = 0
     shards_computed: int = 0
     compute_seconds: float = 0.0
-    shard_seconds: list[float] = field(default_factory=list)
+    worker_retries: int = 0
+    shard_seconds: Summary = field(
+        default_factory=lambda: Summary("engine.shard_seconds")
+    )
 
     def as_dict(self) -> dict:
         return {
@@ -61,6 +75,8 @@ class EngineRunStats:
             "cache_misses": self.cache_misses,
             "shards_computed": self.shards_computed,
             "compute_seconds": self.compute_seconds,
+            "worker_retries": self.worker_retries,
+            "shard_seconds": self.shard_seconds.as_dict(),
         }
 
 
@@ -113,6 +129,31 @@ def _run_h2h_shard(
 
 
 _SHARD_RUNNERS = {"stats": _run_stats_shard, "h2h": _run_h2h_shard}
+
+
+def _run_shard_job(
+    kind: str,
+    config: WorkloadConfig,
+    schemes: tuple[SchemeSpec, ...],
+    seed: int,
+    start: int,
+    count: int,
+    collect_metrics: bool,
+):
+    """Worker-process entry point: run one shard, optionally with metrics.
+
+    When the parent engine runs instrumented, each worker evaluates its
+    shard inside :func:`repro.obs.collect` (a fresh registry) and ships
+    the registry dump back with the result; the parent merges it, so
+    probe/Theorem-1/partition counters survive the process boundary.
+    Returns ``(result, metrics_dump_or_None)``.
+    """
+    run_shard = _SHARD_RUNNERS[kind]
+    if not collect_metrics:
+        return run_shard(config, schemes, seed, start, count), None
+    with obs.collect() as registry:
+        result = run_shard(config, schemes, seed, start, count)
+        return result, registry.dump()
 
 
 def _encode_shard(kind: str, result) -> dict:
@@ -191,13 +232,37 @@ class Engine:
     # -- observability -------------------------------------------------
 
     def _emit(self, event: str, **payload) -> None:
-        if self.progress is not None:
-            self.progress({"event": event, **payload})
+        """Fan one engine event out to the obs sink and the progress hook.
+
+        Structured telemetry goes through :func:`repro.obs.emit` (a
+        no-op unless instrumentation is enabled with a sink).  The
+        legacy dict-based ``progress`` hook still fires for rendering,
+        but it can no longer abort a sweep: the first exception it
+        raises is converted into a single ``RuntimeWarning`` and the
+        hook is disabled for the rest of the run.
+        """
+        obs.emit(f"engine.{event}", **payload)
+        hook = self.progress
+        if hook is None:
+            return
+        try:
+            hook({"event": event, **payload})
+        except Exception as exc:
+            self.progress = None
+            warnings.warn(
+                f"progress hook raised {exc!r}; "
+                "disabling the hook for the rest of this run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def _record_shard(self, seconds: float) -> None:
         self.stats.shards_computed += 1
         self.stats.compute_seconds += seconds
-        self.stats.shard_seconds.append(seconds)
+        self.stats.shard_seconds.observe(seconds)
+        if obs.OBS.enabled:
+            obs.counter("engine.shards_computed").inc()
+            obs.summary("engine.shard_seconds").observe(seconds)
 
     # -- shard execution ----------------------------------------------
 
@@ -227,37 +292,56 @@ class Engine:
             )
 
         if jobs == 1 or len(missing) == 1:
+            # Inline execution: metrics (if enabled) accumulate straight
+            # into the parent registry — no transfer step needed.
             for start, count in missing:
                 t0 = time.perf_counter()
                 result = run_shard(point.config, point.schemes, point.seed, start, count)
                 finish(start, count, result, time.perf_counter() - t0)
             return results
 
+        collect_metrics = obs.OBS.enabled
         with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
             futures = [
                 pool.submit(
-                    run_shard, point.config, point.schemes, point.seed, start, count
+                    _run_shard_job,
+                    point.kind,
+                    point.config,
+                    point.schemes,
+                    point.seed,
+                    start,
+                    count,
+                    collect_metrics,
                 )
                 for start, count in missing
             ]
             t0 = time.perf_counter()
             for future, (start, count) in zip(futures, missing):
                 try:
-                    result = future.result()
+                    result, metrics_dump = future.result()
                 except BrokenProcessPool as pool_exc:
                     # A crashed worker poisons the whole pool and every
                     # pending future; salvage the batch by re-running
                     # this shard inline (the shard is self-seeded, so
                     # the retry is bit-identical to a worker run).
+                    self.stats.worker_retries += 1
+                    if obs.OBS.enabled:
+                        obs.counter("engine.worker_retries").inc()
+                    self._emit(
+                        "worker_retry", start=start, count=count, error=repr(pool_exc)
+                    )
                     try:
                         result = run_shard(
                             point.config, point.schemes, point.seed, start, count
                         )
+                        metrics_dump = None  # inline retry fed the registry
                     except Exception as retry_exc:
                         raise ReproError(
                             f"worker shard [{start}, {start + count}) crashed"
                             f" ({pool_exc!r}) and the inline retry failed"
                         ) from retry_exc
+                if metrics_dump is not None and obs.OBS.enabled:
+                    obs.OBS.registry.merge(metrics_dump)
                 t1 = time.perf_counter()
                 finish(start, count, result, t1 - t0)
                 t0 = t1
@@ -287,10 +371,14 @@ class Engine:
             if cached is not None:
                 results[start] = _decode_shard(point.kind, cached)
                 self.stats.cache_hits += 1
+                if obs.OBS.enabled:
+                    obs.counter("engine.cache_hits").inc()
                 self._emit("shard", start=start, count=count, cached=True, seconds=0.0)
             else:
                 if self.store is not None:
                     self.stats.cache_misses += 1
+                    if obs.OBS.enabled:
+                        obs.counter("engine.cache_misses").inc()
                 missing.append((start, count))
 
         results.update(self._compute_missing(point, missing, jobs) if missing else {})

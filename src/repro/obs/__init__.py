@@ -1,0 +1,72 @@
+"""repro.obs — lightweight instrumentation for the whole stack.
+
+A process-local registry of counters and bounded summaries, a JSON-lines
+structured event sink carrying a per-run ``run_id``, ``span()`` timing
+context managers, and run manifests with full provenance.  The default
+state is **off** with near-zero overhead: instrumented call sites guard
+on ``OBS.enabled`` (one attribute load + branch), which the
+``benchmarks/test_bench_probe_overhead.py`` gate pins at < 2 % of the
+Theorem-1 probe hot path.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.instrument(log_path="events.jsonl") as state:
+        artifact = run_sweep(figure1_nsu(), sets=500, store=store)
+        print(state.registry.snapshot()["counters"])
+
+Metric names and the event/manifest schemas are documented in
+docs/API.md ("Observability").
+"""
+
+from repro.obs.events import EventSink, JsonlSink
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    format_manifest,
+    git_describe,
+    load_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+from repro.obs.metrics import Counter, MetricsRegistry, Summary
+from repro.obs.runtime import (
+    OBS,
+    collect,
+    counter,
+    disable,
+    emit,
+    enable,
+    instrument,
+    new_run_id,
+    scheme_tag,
+    span,
+    summary,
+)
+
+__all__ = [
+    "OBS",
+    "Counter",
+    "EventSink",
+    "JsonlSink",
+    "MANIFEST_VERSION",
+    "MetricsRegistry",
+    "Summary",
+    "build_manifest",
+    "collect",
+    "counter",
+    "disable",
+    "emit",
+    "enable",
+    "format_manifest",
+    "git_describe",
+    "instrument",
+    "load_manifest",
+    "manifest_path_for",
+    "new_run_id",
+    "scheme_tag",
+    "span",
+    "summary",
+    "write_manifest",
+]

@@ -1,0 +1,78 @@
+"""Structured event sink: JSON lines, one object per event.
+
+Every line carries the run id, a monotonically increasing sequence
+number, a wall-clock timestamp, and the event name; the rest of the
+object is the event's payload.  The format is append-only and
+line-delimited so a crashed run still leaves a readable prefix, and
+``jq``-style tooling works directly on the file::
+
+    {"run_id": "r-1a2b...", "seq": 7, "ts": 1754..., "event": "engine.shard",
+     "start": 0, "count": 250, "cached": false, "seconds": 1.93}
+
+Payload values must be JSON-serializable; non-serializable values are
+replaced by their ``repr`` rather than killing the run — a telemetry
+layer must never be the thing that aborts an experiment.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["EventSink", "JsonlSink"]
+
+
+def _fallback_repr(value: object) -> str:
+    return repr(value)
+
+
+class EventSink:
+    """Minimal interface: :meth:`emit` one event dict, :meth:`close`."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface
+        pass
+
+
+class JsonlSink(EventSink):
+    """Append JSON-lines events to a file (or an open text stream).
+
+    Opening a path truncates any existing file — a sink belongs to one
+    run.  Each event is flushed immediately so ``tail -f`` works on a
+    live run and a crash loses at most the event being written.
+    """
+
+    def __init__(self, target: str | os.PathLike | io.TextIOBase):
+        if isinstance(target, (str, os.PathLike)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = path.open("w", encoding="utf-8")
+            self._owns_stream = True
+            self.path: Path | None = path
+        else:
+            self._stream = target
+            self._owns_stream = False
+            self.path = None
+        self.events_written = 0
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(
+            event, separators=(",", ":"), default=_fallback_repr, sort_keys=False
+        )
+        self._stream.write(line + "\n")
+        self._stream.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
+def make_event(run_id: str, seq: int, name: str, payload: dict) -> dict:
+    """The canonical envelope: id/seq/ts first, then the payload fields."""
+    return {"run_id": run_id, "seq": seq, "ts": time.time(), "event": name, **payload}

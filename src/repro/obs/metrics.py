@@ -1,0 +1,227 @@
+"""Process-local metric primitives: counters and bounded summaries.
+
+Everything here is deliberately boring: plain Python objects with
+``__slots__``, no locks (the library is single-threaded per process;
+cross-process aggregation goes through :meth:`MetricsRegistry.dump` /
+:meth:`MetricsRegistry.merge`), and no I/O.  The cost model is the whole
+point — when instrumentation is disabled no object in this module is
+even touched (call sites guard on :data:`repro.obs.OBS` ``.enabled``),
+and when it is enabled a counter increment is one attribute add.
+
+:class:`Summary` is the bounded replacement for the old unbounded
+``EngineRunStats.shard_seconds`` list: exact ``count/total/min/max``
+plus approximate ``p50``/``p95`` from a decimating reservoir.  The
+reservoir keeps every ``stride``-th observation; when it fills, every
+other retained sample is dropped and the stride doubles, so memory stays
+at ``<= max_samples`` floats forever while the retained samples remain
+spread over the whole stream.  The policy is deterministic: two
+identical observation streams produce identical summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Summary", "MetricsRegistry"]
+
+#: Reservoir capacity of a :class:`Summary` (floats kept per summary).
+DEFAULT_MAX_SAMPLES = 512
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Summary:
+    """Bounded streaming summary of a float-valued observation stream.
+
+    Exact: ``count``, ``total``, ``min``, ``max``.  Approximate (from
+    the decimating reservoir): :meth:`percentile`.  Memory is bounded by
+    ``max_samples`` regardless of stream length.
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "min",
+        "max",
+        "max_samples",
+        "_samples",
+        "_stride",
+        "_pending",
+    )
+
+    def __init__(self, name: str = "", max_samples: int = DEFAULT_MAX_SAMPLES):
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._stride = 1  #: keep every _stride-th observation
+        self._pending = 0  #: observations since the last kept sample
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                self._decimate()
+
+    def _decimate(self) -> None:
+        """Halve the reservoir and double the stride (bounded memory)."""
+        self._samples = self._samples[::2]
+        self._stride *= 2
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (``0 <= q <= 100``); ``nan`` if empty.
+
+        Nearest-rank over the sorted reservoir — exact while the stream
+        still fits in the reservoir, approximate after decimation.
+        """
+        if not self._samples:
+            return float("nan")
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def as_dict(self) -> dict:
+        """The bounded reporting form: count/total/min/max/p50/p95."""
+        if self.count == 0:
+            return {
+                "count": 0,
+                "total": 0.0,
+                "min": None,
+                "max": None,
+                "p50": None,
+                "p95": None,
+            }
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+    def state(self) -> dict:
+        """Full transferable state (used for cross-process merging)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self._samples),
+            "stride": self._stride,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another summary's :meth:`state` into this one.
+
+        Exact fields combine exactly; reservoirs concatenate at the
+        coarser stride and re-decimate to stay bounded.
+        """
+        if not state["count"]:
+            return
+        self.count += int(state["count"])
+        self.total += float(state["total"])
+        self.min = min(self.min, float(state["min"]))
+        self.max = max(self.max, float(state["max"]))
+        self._stride = max(self._stride, int(state["stride"]))
+        self._samples.extend(float(v) for v in state["samples"])
+        while len(self._samples) >= self.max_samples:
+            self._decimate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Summary {self.name} n={self.count} total={self.total:.6g}>"
+
+
+@dataclass
+class MetricsRegistry:
+    """A named bag of counters and summaries.
+
+    ``counter(name)`` / ``summary(name)`` create on first use, so call
+    sites never need registration boilerplate.  :meth:`snapshot` is the
+    human/JSON reporting form; :meth:`dump` + :meth:`merge` is the exact
+    transfer form the engine uses to pull worker-process metrics back
+    into the parent registry.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    summaries: dict[str, Summary] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def summary(self, name: str) -> Summary:
+        s = self.summaries.get(name)
+        if s is None:
+            s = self.summaries[name] = Summary(name)
+        return s
+
+    def snapshot(self) -> dict:
+        """Reporting form: ``{"counters": {...}, "summaries": {...}}``.
+
+        Counters map to ints, summaries to their bounded
+        ``count/total/min/max/p50/p95`` dicts; keys are sorted so the
+        output is stable for diffing and tests.
+        """
+        return {
+            "counters": {
+                name: self.counters[name].value for name in sorted(self.counters)
+            },
+            "summaries": {
+                name: self.summaries[name].as_dict()
+                for name in sorted(self.summaries)
+            },
+        }
+
+    def dump(self) -> dict:
+        """Transfer form: exact counter values + full summary states."""
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "summaries": {name: s.state() for name, s in self.summaries.items()},
+        }
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` (e.g. from a worker process) into this registry."""
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, state in dump.get("summaries", {}).items():
+            self.summary(name).merge_state(state)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.summaries.clear()

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.model.partition import Partition
 from repro.model.taskset import MCTaskSet
+from repro.obs.runtime import OBS, scheme_tag
 from repro.types import PartitionError
 
 __all__ = ["Partitioner", "PartitionResult"]
@@ -93,6 +94,12 @@ class Partitioner(abc.ABC):
         Stops at the first unplaceable task (as Algorithm 1 does) and
         reports failure; otherwise returns the complete feasible
         partition.
+
+        When :data:`repro.obs.OBS` is enabled the attempt is tagged with
+        the scheme name (so probe/Theorem-1 counters recorded in the
+        analysis layers are attributed per scheme) and the outcome lands
+        in the ``partition.attempts/failures/tasks_placed[<scheme>]``
+        counters.
         """
         if cores < 1:
             raise PartitionError(f"core count must be >= 1, got {cores}")
@@ -102,18 +109,23 @@ class Partitioner(abc.ABC):
             raise PartitionError(
                 f"{self.name}: order_tasks must return a permutation of all tasks"
             )
-        state: dict = {}
-        for task_index in order:
-            target = self.select_core(task_index, part, state)
-            if target is None:
-                return PartitionResult(
-                    scheme=self.name,
-                    schedulable=False,
-                    partition=part,
-                    order=tuple(order),
-                    failed_task=task_index,
-                )
-            part.assign(task_index, target)
+        with scheme_tag(self.name):
+            state: dict = {}
+            placed = 0
+            for task_index in order:
+                target = self.select_core(task_index, part, state)
+                if target is None:
+                    self._record_outcome(placed, failed=True)
+                    return PartitionResult(
+                        scheme=self.name,
+                        schedulable=False,
+                        partition=part,
+                        order=tuple(order),
+                        failed_task=task_index,
+                    )
+                part.assign(task_index, target)
+                placed += 1
+            self._record_outcome(placed, failed=False)
         return PartitionResult(
             scheme=self.name,
             schedulable=True,
@@ -122,6 +134,15 @@ class Partitioner(abc.ABC):
             failed_task=None,
             _core_utils=self._final_core_utils(part, state),
         )
+
+    def _record_outcome(self, placed: int, *, failed: bool) -> None:
+        if not OBS.enabled:
+            return
+        reg = OBS.registry
+        reg.counter(f"partition.attempts[{self.name}]").inc()
+        reg.counter(f"partition.tasks_placed[{self.name}]").inc(placed)
+        if failed:
+            reg.counter(f"partition.failures[{self.name}]").inc()
 
     def _final_core_utils(self, partition: Partition, state: dict) -> np.ndarray | None:
         """Hook: heuristics that track Eq.-(9) core utilizations

@@ -17,6 +17,16 @@ Both produce bit-identical placement decisions (pinned by the test
 suite); :func:`use_probe_implementation` switches between them, which the
 ``benchmarks/test_bench_probe_speed.py`` throughput benchmark uses to
 measure the speedup of the batch engine.
+
+Instrumentation: when :data:`repro.obs.OBS` is enabled, every probe
+records how many candidate (task, core) hypotheses it evaluated, how
+many were Theorem-1 infeasible, and — for feasibility probes — which
+admission path accepted each core (Eq. (4) directly vs the Theorem-1
+chain, and in the latter case *which* condition ``k`` of Ineq. (5)
+passed first).  The counters carry the active scheme tag
+(``theorem1.cond_pass.k2[ca-tpa]``), so per-scheme hit rates come for
+free; disabled, the entire layer is one branch per probe (pinned < 2 %
+by ``benchmarks/test_bench_probe_overhead.py``).
 """
 
 from __future__ import annotations
@@ -27,13 +37,15 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.analysis.batch import (
+    _available_utilizations,
     _core_utilization_stack,
     _is_feasible_stack,
 )
-from repro.analysis.edfvd import core_utilization
+from repro.analysis.edfvd import available_utilizations, core_utilization
 from repro.analysis.feasibility import is_feasible_core
 from repro.model.partition import Partition
-from repro.types import ModelError
+from repro.obs.runtime import OBS
+from repro.types import EPS, ModelError
 
 __all__ = [
     "candidate_level_matrix",
@@ -72,6 +84,69 @@ def use_probe_implementation(impl: str) -> Iterator[None]:
 
 
 # ----------------------------------------------------------------------
+# Instrumentation recorders (touched only when OBS.enabled)
+# ----------------------------------------------------------------------
+def _tagged(name: str) -> str:
+    """Append the active scheme tag: ``theorem1.eq4_pass[ca-tpa]``."""
+    scheme = OBS.scheme
+    return f"{name}[{scheme}]" if scheme else name
+
+
+def _record_utilization_probe(impl: str, new_utils: np.ndarray) -> None:
+    """Count one Eq.-(15) probe evaluation and its infeasible cores."""
+    reg = OBS.registry
+    reg.counter(_tagged(f"probe.calls.{impl}")).inc()
+    reg.counter("probe.cores_probed").inc(int(new_utils.size))
+    reg.counter("probe.infeasible_cores").inc(
+        int(np.count_nonzero(~np.isfinite(new_utils)))
+    )
+
+
+def _record_feasibility_stack(stack: np.ndarray, feasible: np.ndarray) -> None:
+    """Attribute every core of a feasibility probe to its admission path.
+
+    ``eq4_pass`` counts cores admitted by the Eq.-(4) trace test alone;
+    ``admitted`` counts cores that failed Eq. (4) but passed the
+    Theorem-1 chain, broken down by the first condition ``k`` of
+    Ineq. (5) with non-negative available utilization;  ``rejected``
+    counts cores that failed both.
+    """
+    reg = OBS.registry
+    eq4 = np.trace(stack, axis1=1, axis2=2) <= 1.0 + EPS
+    reg.counter(_tagged("theorem1.eq4_pass")).inc(int(np.count_nonzero(eq4)))
+    reg.counter(_tagged("theorem1.rejected")).inc(
+        int(np.count_nonzero(~feasible))
+    )
+    admitted = feasible & ~eq4
+    n_admitted = int(np.count_nonzero(admitted))
+    reg.counter(_tagged("theorem1.admitted")).inc(n_admitted)
+    if n_admitted:
+        avail = _available_utilizations(stack[admitted])
+        first = np.argmax(avail >= -EPS, axis=1)
+        for k in np.unique(first):
+            reg.counter(_tagged(f"theorem1.cond_pass.k{int(k) + 1}")).inc(
+                int(np.count_nonzero(first == k))
+            )
+
+
+def _record_scalar_feasibility(mat: np.ndarray, feasible: bool) -> None:
+    """Scalar twin of :func:`_record_feasibility_stack` (one core)."""
+    reg = OBS.registry
+    reg.counter(_tagged("probe.calls.scalar")).inc()
+    reg.counter("probe.cores_probed").inc()
+    eq4 = float(np.trace(mat)) <= 1.0 + EPS
+    if eq4:
+        reg.counter(_tagged("theorem1.eq4_pass")).inc()
+    elif feasible:
+        reg.counter(_tagged("theorem1.admitted")).inc()
+        avail = available_utilizations(mat)
+        k = int(np.argmax(avail >= -EPS))
+        reg.counter(_tagged(f"theorem1.cond_pass.k{k + 1}")).inc()
+    if not feasible:
+        reg.counter(_tagged("theorem1.rejected")).inc()
+
+
+# ----------------------------------------------------------------------
 # Scalar path (one core at a time)
 # ----------------------------------------------------------------------
 def candidate_level_matrix(
@@ -95,14 +170,25 @@ def probe_core_utilization(
     fails Theorem 1, per Eq. (15a).  ``rule`` selects the Eq. (9)
     aggregation (see :func:`repro.analysis.core_utilization`).
     """
-    return core_utilization(
+    new_util = core_utilization(
         candidate_level_matrix(partition, core, task_index), rule=rule
     )
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.counter(_tagged("probe.calls.scalar")).inc()
+        reg.counter("probe.cores_probed").inc()
+        if not np.isfinite(new_util):
+            reg.counter("probe.infeasible_cores").inc()
+    return new_util
 
 
 def probe_feasible(partition: Partition, core: int, task_index: int) -> bool:
     """Would the enlarged subset pass the Eq.(4)-or-Theorem-1 test?"""
-    return is_feasible_core(candidate_level_matrix(partition, core, task_index))
+    mat = candidate_level_matrix(partition, core, task_index)
+    feasible = is_feasible_core(mat)
+    if OBS.enabled:
+        _record_scalar_feasibility(mat, feasible)
+    return feasible
 
 
 # ----------------------------------------------------------------------
@@ -126,6 +212,7 @@ def batch_probe(
     the enlarged subset is Theorem-1 infeasible, per Eq. (15a)).
     """
     if _ACTIVE_IMPLEMENTATION == "scalar":
+        # Counters accrue inside the scalar primitive, one per core.
         return np.array(
             [
                 probe_core_utilization(partition, m, task_index, rule=rule)
@@ -135,12 +222,16 @@ def batch_probe(
         )
     if rule not in ("max", "min"):
         raise ModelError(f"unknown Eq. (9) rule {rule!r}; use 'max' or 'min'")
-    return _core_utilization_stack(partition.candidate_stack(task_index), rule)
+    new_utils = _core_utilization_stack(partition.candidate_stack(task_index), rule)
+    if OBS.enabled:
+        _record_utilization_probe("batch", new_utils)
+    return new_utils
 
 
 def batch_probe_feasible(partition: Partition, task_index: int) -> np.ndarray:
     """Eq.(4)-or-Theorem-1 feasibility of the task on every core: ``(M,)``."""
     if _ACTIVE_IMPLEMENTATION == "scalar":
+        # Counters accrue inside the scalar primitive, one per core.
         return np.array(
             [
                 probe_feasible(partition, m, task_index)
@@ -148,7 +239,14 @@ def batch_probe_feasible(partition: Partition, task_index: int) -> np.ndarray:
             ],
             dtype=bool,
         )
-    return _is_feasible_stack(partition.candidate_stack(task_index))
+    stack = partition.candidate_stack(task_index)
+    feasible = _is_feasible_stack(stack)
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.counter(_tagged("probe.calls.batch")).inc()
+        reg.counter("probe.cores_probed").inc(int(feasible.size))
+        _record_feasibility_stack(stack, feasible)
+    return feasible
 
 
 # ----------------------------------------------------------------------

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.analysis.virtual_deadlines import VirtualDeadlineAssignment
 from repro.model.taskset import MCTaskSet
+from repro.obs.runtime import OBS
 from repro.sched.job import Job
 from repro.sched.scenario import ExecutionScenario
 from repro.sched.trace import EventKind, ExecutionSlice, Trace, TraceEvent
@@ -307,4 +308,30 @@ class CoreSimulator:
                     )
                 )
         report.trace = trace
+        if OBS.enabled:
+            _record_core_report(report)
         return report
+
+
+def _record_core_report(report: CoreReport) -> None:
+    """Mirror one core run's protocol tallies into the obs registry.
+
+    Called once per :meth:`CoreSimulator.run`, so the instrumentation
+    cost is independent of the number of simulated events.  The counter
+    totals reconcile exactly with the report fields (and, when tracing
+    is on, with ``Trace.counts()`` — except ``sim.deadline_miss``, which
+    also includes jobs still pending at the horizon, for which no MISS
+    trace event exists).
+    """
+    reg = OBS.registry
+    reg.counter("sim.cores_simulated").inc()
+    reg.counter("sim.released").inc(report.released)
+    reg.counter("sim.completed").inc(report.completed)
+    reg.counter("sim.dropped").inc(report.dropped)
+    reg.counter("sim.censored").inc(report.censored)
+    reg.counter("sim.mode_up").inc(report.mode_switches)
+    reg.counter("sim.idle_reset").inc(report.idle_resets)
+    reg.counter("sim.deadline_miss").inc(report.miss_count)
+    reg.summary("sim.core_utilization_observed").observe(
+        report.utilization_observed
+    )

@@ -61,6 +61,10 @@ class SystemReport:
         return sum(r.mode_switches for r in self.core_reports if r is not None)
 
     @property
+    def idle_resets(self) -> int:
+        return sum(r.idle_resets for r in self.core_reports if r is not None)
+
+    @property
     def max_mode(self) -> int:
         return max(
             (r.max_mode for r in self.core_reports if r is not None), default=1
@@ -68,6 +72,28 @@ class SystemReport:
 
     def all_deadlines_met(self) -> bool:
         return self.miss_count == 0
+
+    def telemetry(self) -> dict[str, int]:
+        """System-wide protocol tallies in obs counter naming.
+
+        The keys match the ``sim.*`` counters the core simulator records
+        when instrumentation is enabled, so a report and a metrics
+        snapshot of the same run reconcile key-for-key.
+        """
+        return {
+            "sim.cores_simulated": sum(
+                1 for r in self.core_reports if r is not None
+            ),
+            "sim.released": self.released,
+            "sim.completed": self.completed,
+            "sim.dropped": self.dropped,
+            "sim.censored": sum(
+                r.censored for r in self.core_reports if r is not None
+            ),
+            "sim.mode_up": self.mode_switches,
+            "sim.idle_reset": self.idle_resets,
+            "sim.deadline_miss": self.miss_count,
+        }
 
 
 class SystemSimulator:

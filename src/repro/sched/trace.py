@@ -52,6 +52,20 @@ class Trace:
     def events_of(self, kind: EventKind) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
 
+    def counts(self) -> dict[str, int]:
+        """Event tally keyed by :class:`EventKind` value.
+
+        Every kind appears (zero when absent), so callers can reconcile
+        against simulator counters without ``.get`` defaults.  Note that
+        MISS events only exist for *completed* late jobs — jobs still
+        pending at the horizon are counted in
+        :attr:`~repro.sched.CoreReport.misses` but emit no trace event.
+        """
+        tally = {kind.value: 0 for kind in EventKind}
+        for e in self.events:
+            tally[e.kind.value] += 1
+        return tally
+
     def busy_time(self) -> float:
         return sum(s.duration for s in self.slices)
 

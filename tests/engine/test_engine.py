@@ -82,8 +82,13 @@ class TestEquivalence:
         assert serial == parallel
 
 
-class _Abort(RuntimeError):
-    """Stands in for SIGKILL / Ctrl-C in the resume test."""
+class _Abort(KeyboardInterrupt):
+    """Stands in for SIGKILL / Ctrl-C in the resume test.
+
+    Inherits KeyboardInterrupt: an *exception* raised by a progress hook
+    is swallowed (the hook is advisory), but a genuine interrupt must
+    still punch through the engine.
+    """
 
 
 class TestResume:

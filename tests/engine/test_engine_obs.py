@@ -1,0 +1,145 @@
+"""Engine <-> observability integration.
+
+The load-bearing guarantees: instrumentation never changes results
+(bit-identical artifacts with it on or off), worker-process counters
+survive the ``ProcessPoolExecutor`` boundary exactly (jobs=1 and jobs=4
+agree counter-for-counter), and a misbehaving progress hook is demoted
+to a warning instead of aborting the sweep.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.engine import Engine, ExperimentSpec, PointSpec, default_schemes
+from repro.gen.params import WorkloadConfig
+
+TINY = WorkloadConfig(cores=2, levels=2, nsu=0.6, task_count_range=(6, 9))
+
+
+def _point(sets=8, seed=3) -> PointSpec:
+    return PointSpec(
+        config=TINY, schemes=tuple(default_schemes()), sets=sets, seed=seed
+    )
+
+
+def _spec(sets=6, seed=4) -> ExperimentSpec:
+    points = tuple(
+        PointSpec(
+            config=TINY.with_(nsu=v),
+            schemes=tuple(default_schemes()),
+            sets=sets,
+            seed=seed,
+        )
+        for v in (0.5, 0.7)
+    )
+    return ExperimentSpec(
+        figure="figX",
+        title="tiny sweep",
+        parameter="NSU",
+        values=(0.5, 0.7),
+        points=points,
+    )
+
+
+class TestBitIdentical:
+    def test_instrumented_artifact_identical_to_plain(self):
+        plain = Engine(jobs=1).run(_spec())
+        with obs.instrument():
+            instrumented = Engine(jobs=1).run(_spec())
+        assert plain.to_json() == instrumented.to_json()
+
+    def test_instrumented_parallel_artifact_identical(self):
+        plain = Engine(jobs=1).run(_spec())
+        with obs.instrument():
+            instrumented = Engine(jobs=4).run(_spec())
+        assert plain.to_json() == instrumented.to_json()
+
+
+class TestWorkerAggregation:
+    def test_serial_and_parallel_counters_agree(self):
+        with obs.instrument() as state:
+            Engine(jobs=1).evaluate(_point())
+            serial = dict(state.registry.snapshot()["counters"])
+        with obs.instrument() as state:
+            Engine(jobs=4).evaluate(_point())
+            parallel = dict(state.registry.snapshot()["counters"])
+        # Shard bookkeeping differs by split (1 shard vs 4), so compare
+        # only the workload counters recorded inside the shards.
+        serial.pop("engine.shards_computed")
+        parallel.pop("engine.shards_computed")
+        assert serial == parallel
+        assert any(name.startswith("probe.") for name in serial)
+        assert any(name.startswith("partition.") for name in serial)
+        assert any(name.startswith("theorem1.") for name in serial)
+
+    def test_shard_seconds_counts_every_shard(self):
+        with obs.instrument() as state:
+            engine = Engine(jobs=4)
+            engine.evaluate(_point())
+            summaries = state.registry.snapshot()["summaries"]
+        assert summaries["engine.shard_seconds"]["count"] == 4
+        assert engine.stats.shard_seconds.count == 4
+        assert engine.stats.as_dict()["shard_seconds"]["count"] == 4
+
+    def test_uninstrumented_run_records_nothing(self):
+        baseline = obs.OBS.registry.snapshot()
+        Engine(jobs=1).evaluate(_point(sets=4))
+        assert obs.OBS.registry.snapshot() == baseline
+
+
+class TestEvents:
+    def test_events_stream_to_sink(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with obs.instrument(log_path=log):
+            Engine(jobs=1).run(_spec())
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        names = {e["event"] for e in events}
+        assert "engine.point" in names
+        assert "engine.shard" in names
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+
+    def test_cache_hits_mirrored_into_counters(self, tmp_path):
+        Engine(jobs=1, store=tmp_path).evaluate(_point(sets=4))
+        with obs.instrument() as state:
+            Engine(jobs=1, store=tmp_path).evaluate(_point(sets=4))
+            counters = state.registry.snapshot()["counters"]
+        assert counters["engine.cache_hits"] == 1
+        assert "engine.cache_misses" not in counters
+
+
+class TestHookGuard:
+    def test_raising_hook_warns_once_and_run_completes(self, tmp_path):
+        baseline = Engine(jobs=1).run(_spec())
+
+        events = []
+
+        def bad_hook(event):
+            events.append(event)
+            if len(events) == 2:
+                raise ValueError("hook bug")
+
+        engine = Engine(jobs=1, progress=bad_hook)
+        with pytest.warns(RuntimeWarning, match="progress hook raised"):
+            artifact = engine.run(_spec())
+        # Hook disabled after the failure: exactly 2 events delivered.
+        assert len(events) == 2
+        assert engine.progress is None
+        # The sweep still completed, bit-identically.
+        assert artifact.to_json() == baseline.to_json()
+
+    def test_healthy_hook_sees_every_event(self):
+        events = []
+        engine = Engine(jobs=1, progress=events.append)
+        engine.evaluate(_point(sets=4))
+        assert events  # no warning path taken
+        assert engine.progress is not None
+
+    def test_keyboard_interrupt_still_propagates(self):
+        def interrupting_hook(event):
+            raise KeyboardInterrupt
+
+        engine = Engine(jobs=1, progress=interrupting_hook)
+        with pytest.raises(KeyboardInterrupt):
+            engine.evaluate(_point(sets=4))

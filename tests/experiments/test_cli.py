@@ -1,12 +1,15 @@
 """CLI smoke tests: parser round-trips and tiny end-to-end runs."""
 
 import dataclasses
+import json
 
 import pytest
 
 from repro import cli
+from repro._version import __version__
 from repro.engine import SweepArtifact
 from repro.experiments import sweeps
+from repro.obs import load_manifest
 
 SUBCOMMANDS = ["fig1", "fig2", "fig3", "fig4", "fig5", "tables", "all"]
 
@@ -63,6 +66,25 @@ class TestParser:
     def test_no_store_round_trips(self):
         assert cli.build_parser().parse_args(["all", "--no-store"]).no_store
 
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert f"repro-mc {__version__}" in out
+
+    def test_obs_flags_round_trip(self):
+        args = cli.build_parser().parse_args(
+            ["fig1", "--log-json", "events.jsonl", "--metrics", "m.json"]
+        )
+        assert args.log_json == "events.jsonl"
+        assert args.metrics == "m.json"
+
+    def test_inspect_accepts_paths(self):
+        args = cli.build_parser().parse_args(["inspect", "a.json", "b.json"])
+        assert args.experiment == "inspect"
+        assert args.paths == ["a.json", "b.json"]
+
 
 class TestMain:
     def test_fig1_tiny_run_exits_zero_with_markers(self, tiny_fig1, capsys):
@@ -110,3 +132,103 @@ class TestMain:
         assert cli.main(["fig1", "--sets", "2", "--store", str(custom)]) == 0
         assert custom.exists()
         assert not (tiny_fig1 / "store").exists()
+
+    def test_stray_paths_on_figure_subcommand_rejected(self, capsys):
+        assert cli.main(["fig1", "whoops.json"]) == 2
+        assert "inspect subcommand" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_json_flag_also_writes_manifest(self, tiny_fig1, capsys):
+        out_dir = tiny_fig1 / "artifacts"
+        argv = ["fig1", "--sets", "2", "--jobs", "2", "--json", str(out_dir)]
+        assert cli.main(argv) == 0
+        manifest = load_manifest(out_dir / "fig1.manifest.json")
+        assert manifest["figure"] == "fig1"
+        assert manifest["sets"] == 2
+        assert manifest["seed"] == 2016
+        assert manifest["command"] == argv
+        assert manifest["repro_version"] == __version__
+        assert manifest["artifact"]["path"] == "fig1.json"
+        assert manifest["engine"]["shards_computed"] > 0
+        assert manifest["engine"]["shard_seconds"]["count"] > 0
+        # Workload counters survived the worker-process boundary.
+        counters = manifest["metrics"]["counters"]
+        assert any(name.startswith("probe.") for name in counters)
+
+    def test_metrics_flag_writes_merged_snapshot(self, tiny_fig1, capsys):
+        metrics_path = tiny_fig1 / "out" / "metrics.json"
+        assert (
+            cli.main(
+                ["fig1", "--sets", "2", "--no-store", "--metrics", str(metrics_path)]
+            )
+            == 0
+        )
+        payload = json.loads(metrics_path.read_text())
+        assert payload["run_id"].startswith("r-")
+        assert payload["metrics"]["counters"]["engine.shards_computed"] >= 1
+        assert payload["metrics"]["summaries"]["engine.shard_seconds"]["count"] >= 1
+
+    def test_log_json_streams_engine_events(self, tiny_fig1, capsys):
+        log = tiny_fig1 / "events.jsonl"
+        assert cli.main(["fig1", "--sets", "2", "--log-json", str(log)]) == 0
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        names = [e["event"] for e in events]
+        assert names[0] == "cli.figure_start"
+        assert "engine.point" in names
+        assert "engine.shard" in names
+        run_ids = {e["run_id"] for e in events}
+        assert len(run_ids) == 1
+
+    def test_instrumented_artifact_matches_plain_run(self, tiny_fig1, capsys):
+        plain_dir = tiny_fig1 / "plain"
+        inst_dir = tiny_fig1 / "instrumented"
+        assert cli.main(["fig1", "--sets", "2", "--no-store", "--json", str(plain_dir)]) == 0
+        # A --json run is itself instrumented; add every other flag too.
+        assert (
+            cli.main(
+                [
+                    "fig1",
+                    "--sets",
+                    "2",
+                    "--no-store",
+                    "--json",
+                    str(inst_dir),
+                    "--metrics",
+                    str(tiny_fig1 / "m.json"),
+                    "--log-json",
+                    str(tiny_fig1 / "e.jsonl"),
+                ]
+            )
+            == 0
+        )
+        assert (plain_dir / "fig1.json").read_text() == (
+            inst_dir / "fig1.json"
+        ).read_text()
+
+
+class TestInspect:
+    def test_inspect_pretty_prints_manifest(self, tiny_fig1, capsys):
+        out_dir = tiny_fig1 / "artifacts"
+        assert cli.main(["fig1", "--sets", "2", "--json", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert cli.main(["inspect", str(out_dir / "fig1.json")]) == 0
+        out = capsys.readouterr().out
+        assert "Run manifest (v1)" in out
+        assert "figure        fig1" in out
+        assert "Counters" in out
+
+    def test_inspect_accepts_manifest_path_directly(self, tiny_fig1, capsys):
+        out_dir = tiny_fig1 / "artifacts"
+        assert cli.main(["fig1", "--sets", "2", "--json", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert cli.main(["inspect", str(out_dir / "fig1.manifest.json")]) == 0
+        assert "Run manifest (v1)" in capsys.readouterr().out
+
+    def test_inspect_without_paths_errors(self, capsys):
+        assert cli.main(["inspect"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_inspect_missing_manifest_errors(self, tmp_path, capsys):
+        assert cli.main(["inspect", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,156 @@
+"""Unit tests for the counter/summary primitives of repro.obs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import DEFAULT_MAX_SAMPLES, Counter, MetricsRegistry, Summary
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestSummary:
+    def test_empty_as_dict(self):
+        s = Summary("t")
+        assert s.as_dict() == {
+            "count": 0,
+            "total": 0.0,
+            "min": None,
+            "max": None,
+            "p50": None,
+            "p95": None,
+        }
+        assert math.isnan(s.percentile(50))
+        assert math.isnan(s.mean)
+
+    def test_exact_fields(self):
+        s = Summary("t")
+        for v in [3.0, 1.0, 2.0]:
+            s.observe(v)
+        d = s.as_dict()
+        assert d["count"] == 3
+        assert d["total"] == pytest.approx(6.0)
+        assert d["min"] == 1.0
+        assert d["max"] == 3.0
+        assert s.mean == pytest.approx(2.0)
+
+    def test_percentiles_exact_before_decimation(self):
+        s = Summary("t")
+        for v in range(1, 101):
+            s.observe(float(v))
+        assert s.percentile(0) == 1.0
+        assert s.percentile(100) == 100.0
+        assert s.percentile(50) == pytest.approx(50.0, abs=1.0)
+
+    def test_memory_stays_bounded(self):
+        s = Summary("t", max_samples=16)
+        for v in range(10_000):
+            s.observe(float(v))
+        assert len(s._samples) < 16
+        assert s.count == 10_000
+        # The reservoir still spans the stream, not just its head.
+        assert s.percentile(95) > 5_000
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            Summary("t", max_samples=1)
+
+    def test_decimation_is_deterministic(self):
+        a, b = Summary("a"), Summary("b")
+        for v in range(5 * DEFAULT_MAX_SAMPLES):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a._samples == b._samples
+        assert a.as_dict() == b.as_dict()
+
+    def test_merge_state_combines_exact_fields(self):
+        a, b = Summary("a"), Summary("b")
+        for v in [1.0, 2.0]:
+            a.observe(v)
+        for v in [10.0, 0.5]:
+            b.observe(v)
+        a.merge_state(b.state())
+        d = a.as_dict()
+        assert d["count"] == 4
+        assert d["total"] == pytest.approx(13.5)
+        assert d["min"] == 0.5
+        assert d["max"] == 10.0
+
+    def test_merge_empty_state_is_a_noop(self):
+        a = Summary("a")
+        a.observe(1.0)
+        before = a.as_dict()
+        a.merge_state(Summary("b").state())
+        assert a.as_dict() == before
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=299),
+    )
+    def test_merged_equals_sequential_on_exact_fields(self, values, split):
+        split = min(split, len(values))
+        seq = Summary("seq")
+        for v in values:
+            seq.observe(v)
+        left, right = Summary("l"), Summary("r")
+        for v in values[:split]:
+            left.observe(v)
+        for v in values[split:]:
+            right.observe(v)
+        left.merge_state(right.state())
+        assert left.count == seq.count
+        assert left.total == pytest.approx(seq.total)
+        assert left.min == seq.min
+        assert left.max == seq.max
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.counter("a").inc()
+        reg.summary("s").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 3}
+        assert snap["summaries"]["s"]["count"] == 1
+
+    def test_snapshot_keys_are_sorted(self):
+        reg = MetricsRegistry()
+        for name in ["zz", "aa", "mm"]:
+            reg.counter(name).inc()
+        assert list(reg.snapshot()["counters"]) == ["aa", "mm", "zz"]
+
+    def test_dump_merge_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.counter("probe.calls").inc(7)
+        worker.summary("seconds").observe(0.25)
+        worker.summary("seconds").observe(0.75)
+
+        parent = MetricsRegistry()
+        parent.counter("probe.calls").inc(3)
+        parent.merge(worker.dump())
+        snap = parent.snapshot()
+        assert snap["counters"]["probe.calls"] == 10
+        assert snap["summaries"]["seconds"]["count"] == 2
+        assert snap["summaries"]["seconds"]["total"] == pytest.approx(1.0)
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.clear()
+        assert reg.snapshot() == {"counters": {}, "summaries": {}}

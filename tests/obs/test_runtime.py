@@ -1,0 +1,127 @@
+"""Tests for the OBS singleton, spans, tagging, and event emission."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import obs
+from repro.obs.runtime import OBS
+
+
+class TestDefaults:
+    def test_disabled_by_default(self):
+        assert OBS.enabled is False
+        assert OBS.sink is None
+
+    def test_emit_is_noop_when_disabled(self):
+        obs.emit("anything", value=1)  # must not raise
+        assert OBS.seq == 0
+
+    def test_span_runs_block_when_disabled(self):
+        ran = []
+        with obs.span("x"):
+            ran.append(True)
+        assert ran == [True]
+
+
+class TestInstrument:
+    def test_enables_fresh_registry_and_restores(self):
+        outer_registry = OBS.registry
+        with obs.instrument() as state:
+            assert OBS.enabled
+            assert state.registry is not outer_registry
+            obs.counter("a").inc()
+            assert state.registry.snapshot()["counters"] == {"a": 1}
+        assert OBS.enabled is False
+        assert OBS.registry is outer_registry
+
+    def test_restores_on_exception(self):
+        try:
+            with obs.instrument():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert OBS.enabled is False
+
+    def test_nested_instrument_isolates(self):
+        with obs.instrument() as outer:
+            obs.counter("outer").inc()
+            with obs.instrument() as inner:
+                obs.counter("inner").inc()
+                assert "outer" not in inner.registry.counters
+            assert OBS.registry is outer.registry
+            assert outer.registry.snapshot()["counters"] == {"outer": 1}
+
+    def test_log_path_writes_and_closes(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with obs.instrument(log_path=log) as state:
+            run_id = state.run_id
+            obs.emit("hello", n=1)
+            obs.emit("world", n=2)
+        lines = [json.loads(line) for line in log.read_text().splitlines()]
+        assert [e["event"] for e in lines] == ["hello", "world"]
+        assert [e["seq"] for e in lines] == [1, 2]
+        assert all(e["run_id"] == run_id for e in lines)
+
+    def test_explicit_run_id_is_used(self):
+        with obs.instrument(run_id="r-fixed") as state:
+            assert state.run_id == "r-fixed"
+
+    def test_new_run_ids_are_unique(self):
+        assert obs.new_run_id() != obs.new_run_id()
+
+
+class TestSpanAndTag:
+    def test_span_observes_summary_and_emits(self):
+        stream = io.StringIO()
+        with obs.instrument(sink=obs.JsonlSink(stream)) as state:
+            with obs.span("work", shard=3):
+                pass
+            summaries = state.registry.snapshot()["summaries"]
+        assert summaries["work.seconds"]["count"] == 1
+        event = json.loads(stream.getvalue().splitlines()[0])
+        assert event["event"] == "span.work"
+        assert event["shard"] == 3
+        assert event["seconds"] >= 0.0
+
+    def test_scheme_tag_restores_previous(self):
+        assert OBS.scheme == ""
+        with obs.scheme_tag("ca-tpa"):
+            assert OBS.scheme == "ca-tpa"
+            with obs.scheme_tag("ffd"):
+                assert OBS.scheme == "ffd"
+            assert OBS.scheme == "ca-tpa"
+        assert OBS.scheme == ""
+
+
+class TestCollect:
+    def test_collect_isolates_and_dumps(self):
+        with obs.instrument() as state:
+            obs.counter("parent").inc()
+            with obs.collect() as worker_registry:
+                obs.counter("child").inc(4)
+                dump = worker_registry.dump()
+            # Parent registry untouched by the worker-side counts.
+            assert "child" not in state.registry.counters
+            state.registry.merge(dump)
+            snap = state.registry.snapshot()["counters"]
+        assert snap == {"parent": 1, "child": 4}
+
+
+class TestJsonlSink:
+    def test_non_serializable_payload_falls_back_to_repr(self):
+        stream = io.StringIO()
+        sink = obs.JsonlSink(stream)
+        sink.emit({"event": "x", "obj": object()})
+        line = json.loads(stream.getvalue())
+        assert line["obj"].startswith("<object object")
+        assert sink.events_written == 1
+
+    def test_path_target_truncates(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("stale\n")
+        sink = obs.JsonlSink(path)
+        sink.emit({"event": "fresh"})
+        sink.close()
+        assert json.loads(path.read_text())["event"] == "fresh"

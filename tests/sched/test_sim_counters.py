@@ -1,0 +1,140 @@
+"""Reconciliation properties between trace, report, counters, and timeline.
+
+Satellite property tests: for randomly generated dual-criticality
+subsets, the event tallies recorded three different ways — the
+``Trace``, the ``CoreReport``, and the obs ``sim.*`` counters — must
+agree exactly, and the rendered ASCII timeline's mode row must match a
+recomputation from the raw trace events.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.analysis import assign_virtual_deadlines
+from repro.model import MCTask, MCTaskSet
+from repro.sched import CoreSimulator, HonestScenario, LevelScenario, RandomScenario
+from repro.sched.trace import EventKind, render_timeline
+
+
+@st.composite
+def feasible_subsets(draw):
+    """A small dual-criticality subset that passes EDF-VD analysis."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    tasks = []
+    for i in range(n):
+        period = draw(st.sampled_from([8.0, 10.0, 16.0, 20.0]))
+        lo = draw(st.floats(min_value=0.02, max_value=0.15))
+        if draw(st.booleans()):
+            hi = lo * draw(st.floats(min_value=1.5, max_value=3.0))
+            wcets = (lo * period, hi * period)
+        else:
+            wcets = (lo * period,)
+        tasks.append(MCTask(wcets=wcets, period=period, name=f"t{i}"))
+    subset = MCTaskSet(tasks, levels=2)
+    plan = assign_virtual_deadlines(subset)
+    # Rare at these utilizations; discard infeasible draws.
+    assume(plan is not None)
+    return subset, plan
+
+
+def _run(subset, plan, scenario, seed, horizon=200.0):
+    with obs.instrument() as state:
+        report = CoreSimulator(
+            subset=subset,
+            plan=plan,
+            scenario=scenario,
+            rng=np.random.default_rng(seed),
+            horizon=horizon,
+            record_trace=True,
+        ).run()
+        counters = state.registry.snapshot()["counters"]
+    return report, counters
+
+
+SCENARIOS = [HonestScenario(), LevelScenario(target=2), RandomScenario()]
+
+
+class TestTraceReconciliation:
+    @settings(max_examples=30, deadline=None)
+    @given(feasible_subsets(), st.integers(min_value=0, max_value=2**31), st.integers(0, 2))
+    def test_trace_counts_match_report_and_counters(self, sp, seed, scenario_i):
+        subset, plan = sp
+        report, counters = _run(subset, plan, SCENARIOS[scenario_i], seed)
+        counts = report.trace.counts()
+
+        # Trace <-> report: every protocol tally recorded both ways.
+        assert counts["release"] == report.released
+        assert counts["complete"] == report.completed
+        assert counts["drop"] == report.dropped
+        assert counts["mode_up"] == report.mode_switches
+        assert counts["idle_reset"] == report.idle_resets
+        # MISS trace events cover only completed-late jobs; the report
+        # additionally counts jobs still pending at the horizon.
+        pending = sum(1 for m in report.misses if m.lateness == float("inf"))
+        assert counts["miss"] == report.miss_count - pending
+
+        # Report <-> obs counters (zero-valued counters are absent).
+        expected = {
+            "sim.cores_simulated": 1,
+            "sim.released": report.released,
+            "sim.completed": report.completed,
+            "sim.dropped": report.dropped,
+            "sim.censored": report.censored,
+            "sim.mode_up": report.mode_switches,
+            "sim.idle_reset": report.idle_resets,
+            "sim.deadline_miss": report.miss_count,
+        }
+        for name, value in expected.items():
+            assert counters.get(name, 0) == value, name
+
+    @settings(max_examples=30, deadline=None)
+    @given(feasible_subsets(), st.integers(min_value=0, max_value=2**31), st.integers(0, 2))
+    def test_conservation_released_splits_into_outcomes(self, sp, seed, scenario_i):
+        subset, plan = sp
+        report, _ = _run(subset, plan, SCENARIOS[scenario_i], seed)
+        pending = report.released - report.completed - report.dropped
+        assert pending >= 0
+        # Jobs still pending at the horizon either have a deadline past
+        # it (censored) or are late (counted among the misses).
+        horizon_misses = sum(
+            1 for m in report.misses if m.lateness == float("inf")
+        )
+        assert pending <= report.censored + horizon_misses
+
+    @settings(max_examples=30, deadline=None)
+    @given(feasible_subsets(), st.integers(min_value=0, max_value=2**31))
+    def test_timeline_mode_row_matches_trace_events(self, sp, seed):
+        subset, plan = sp
+        report, _ = _run(subset, plan, LevelScenario(target=2), seed)
+        trace = report.trace
+        until, width = 200.0, 80
+        rendered = render_timeline(trace, len(subset), until, width=width)
+        mode_line = next(
+            line for line in rendered.splitlines() if line.startswith("mode|")
+        )
+        mode_row = mode_line[len("mode|") : len("mode|") + width]
+
+        # Recompute each column's final marker from the raw events (the
+        # renderer overwrites earlier markers in the same column).
+        expected = [" "] * width
+        scale = until / width
+        for e in trace.events:
+            if e.time >= until:
+                continue
+            col = min(int(e.time / scale), width - 1)
+            if e.kind is EventKind.MODE_UP:
+                expected[col] = "^"
+            elif e.kind is EventKind.IDLE_RESET:
+                expected[col] = "v"
+        assert mode_row == "".join(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(feasible_subsets(), st.integers(min_value=0, max_value=2**31))
+    def test_trace_busy_time_matches_report(self, sp, seed):
+        subset, plan = sp
+        report, _ = _run(subset, plan, RandomScenario(), seed)
+        np.testing.assert_allclose(
+            report.trace.busy_time(), report.busy_time, rtol=1e-9, atol=1e-9
+        )
