@@ -22,6 +22,12 @@ is safe — a re-run resumes from the checkpointed shards)::
 
     repro-mc all --sets 2000 --jobs 0 --progress
 
+Fuzz the cross-layer invariant oracles (scalar vs. batch probes,
+analysis vs. simulation, reports vs. counters) and shrink any failure
+to a minimal JSON repro under ``--repro-dir``::
+
+    repro-mc validate --sets 200 --seed 0
+
 Instrumented runs write full provenance: ``--json DIR`` drops a
 ``<figure>.manifest.json`` run manifest next to each artifact,
 ``--metrics PATH`` dumps the merged counter/summary snapshot, and
@@ -96,10 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*FIGURES.keys(), "tables", "all", "inspect"],
+        choices=[*FIGURES.keys(), "tables", "all", "validate", "inspect"],
         help=(
-            "which paper artifact to regenerate, or 'inspect' to "
-            "pretty-print the run manifest of an existing artifact"
+            "which paper artifact to regenerate, 'validate' to fuzz the "
+            "cross-layer invariant oracles, or 'inspect' to pretty-print "
+            "the run manifest of an existing artifact"
         ),
     )
     parser.add_argument(
@@ -174,6 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
             "whole invocation to PATH as JSON"
         ),
     )
+    parser.add_argument(
+        "--repro-dir",
+        metavar="DIR",
+        default="counterexamples",
+        help=(
+            "where 'validate' writes shrunk counterexample JSON files "
+            "(default: counterexamples/)"
+        ),
+    )
     return parser
 
 
@@ -239,6 +255,60 @@ def _inspect(paths: list[str], out) -> int:
     return 0
 
 
+def _run_validate(args, jobs, store, progress, command) -> int:
+    """``repro-mc validate``: fuzz the oracle registry, shrink failures."""
+    from repro.validate import run_campaign, shrink_failure, write_repro
+
+    instrumented = bool(args.log_json or args.metrics)
+    run_id = new_run_id() if instrumented else None
+    sink = JsonlSink(args.log_json) if args.log_json else None
+    snapshot = None
+    start = time.perf_counter()
+    try:
+        if instrumented:
+            with obs_runtime.instrument(sink=sink, run_id=run_id) as state:
+                obs_runtime.emit("cli.validate_start", sets=args.sets, seed=args.seed)
+                result = run_campaign(
+                    args.sets, args.seed, jobs=jobs, store=store, progress=progress
+                )
+                snapshot = state.registry.snapshot()
+        else:
+            result = run_campaign(
+                args.sets, args.seed, jobs=jobs, store=store, progress=progress
+            )
+    finally:
+        if sink is not None:
+            sink.close()
+    print(result.summary(), file=args.out)
+    for failure in result.failures:
+        doc = shrink_failure(failure)
+        path = write_repro(doc, args.repro_dir)
+        print(
+            f"  repro written: {path} ({len(doc['taskset']['tasks'])} tasks)",
+            file=args.out,
+        )
+    print(
+        f"[validate done in {time.perf_counter() - start:.1f}s]",
+        file=args.out,
+    )
+    if args.metrics is not None:
+        metrics_path = Path(args.metrics)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(
+                {
+                    "run_id": run_id,
+                    "repro_version": __version__,
+                    "command": command,
+                    "metrics": snapshot,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command = list(argv) if argv is not None else sys.argv[1:]
@@ -259,6 +329,9 @@ def main(argv: list[str] | None = None) -> int:
         root = Path(args.store).expanduser() if args.store else default_store_root()
         store = ResultStore(root)
     progress = _progress_hook(sys.stderr) if args.progress else None
+
+    if args.experiment == "validate":
+        return _run_validate(args, jobs, store, progress, command)
 
     # One run id + (optional) shared event log per invocation; each
     # figure gets a fresh registry whose dump is merged into the totals

@@ -17,6 +17,7 @@ bit-identical artifacts.
 
 from __future__ import annotations
 
+import importlib
 import os
 import time
 import warnings
@@ -37,7 +38,14 @@ from repro.obs import runtime as obs
 from repro.obs.metrics import Summary
 from repro.types import ReproError
 
-__all__ = ["Engine", "EngineRunStats", "run_experiment"]
+__all__ = [
+    "Engine",
+    "EngineRunStats",
+    "ShardKind",
+    "register_shard_kind",
+    "shard_kind",
+    "run_experiment",
+]
 
 #: Progress hook: called with one event dict per shard / point; see
 #: :meth:`Engine._emit` for the event shapes.  Hooks are *advisory*: an
@@ -128,7 +136,54 @@ def _run_h2h_shard(
     return {"labels": labels, "accepted": accepted, "wins": wins, "sets": count}
 
 
-_SHARD_RUNNERS = {"stats": _run_stats_shard, "h2h": _run_h2h_shard}
+@dataclass(frozen=True)
+class ShardKind:
+    """How the engine runs, persists, and merges one kind of shard.
+
+    ``run(config, schemes, seed, start, count)`` evaluates one shard;
+    ``encode(result)`` / ``decode(payload)`` convert it to/from the
+    strict-JSON form the :class:`ResultStore` checkpoints (``encode``
+    must stamp ``{"kind": name}`` so ``decode`` can reject mismatched
+    entries); ``merge(point, shards)`` folds the ascending-``start``
+    shard list into the point result.
+    """
+
+    name: str
+    run: Callable
+    encode: Callable[[object], dict]
+    decode: Callable[[dict], object]
+    merge: Callable[[PointSpec, list], object]
+
+
+_SHARD_KINDS: dict[str, ShardKind] = {}
+
+#: Kinds whose implementation lives in a package the engine must not
+#: import eagerly (it would be a circular / upward dependency).  Looked
+#: up on first use — including inside spawned worker processes, whose
+#: interpreters start with only the engine imported.
+_KIND_PROVIDERS = {"validate": "repro.validate.fuzz"}
+
+
+def register_shard_kind(
+    name: str, *, run: Callable, encode: Callable, decode: Callable, merge: Callable
+) -> None:
+    """Register (or idempotently re-register) a point-evaluation mode."""
+    _SHARD_KINDS[name] = ShardKind(
+        name=name, run=run, encode=encode, decode=decode, merge=merge
+    )
+
+
+def shard_kind(name: str) -> ShardKind:
+    """Resolve a kind, importing its provider module on first use."""
+    kind = _SHARD_KINDS.get(name)
+    if kind is None and name in _KIND_PROVIDERS:
+        importlib.import_module(_KIND_PROVIDERS[name])
+        kind = _SHARD_KINDS.get(name)
+    if kind is None:
+        raise ReproError(
+            f"unknown shard kind {name!r}; registered: {sorted(_SHARD_KINDS)}"
+        )
+    return kind
 
 
 def _run_shard_job(
@@ -148,7 +203,7 @@ def _run_shard_job(
     probe/Theorem-1/partition counters survive the process boundary.
     Returns ``(result, metrics_dump_or_None)``.
     """
-    run_shard = _SHARD_RUNNERS[kind]
+    run_shard = shard_kind(kind).run
     if not collect_metrics:
         return run_shard(config, schemes, seed, start, count), None
     with obs.collect() as registry:
@@ -156,19 +211,29 @@ def _run_shard_job(
         return result, registry.dump()
 
 
-def _encode_shard(kind: str, result) -> dict:
-    if kind == "stats":
-        return {"kind": kind, "accumulators": [a.to_dict() for a in result]}
-    return {"kind": kind, **result}
+def _encode_stats(result) -> dict:
+    return {"kind": "stats", "accumulators": [a.to_dict() for a in result]}
 
 
-def _decode_shard(kind: str, payload: dict):
+def _encode_h2h(result) -> dict:
+    return {"kind": "h2h", **result}
+
+
+def _checked_kind(kind: str, payload: dict) -> dict:
     if payload.get("kind") != kind:
         raise ReproError(
             f"stored shard kind {payload.get('kind')!r} != requested {kind!r}"
         )
-    if kind == "stats":
-        return [SchemeAccumulator.from_dict(d) for d in payload["accumulators"]]
+    return payload
+
+
+def _decode_stats(payload: dict):
+    payload = _checked_kind("stats", payload)
+    return [SchemeAccumulator.from_dict(d) for d in payload["accumulators"]]
+
+
+def _decode_h2h(payload: dict):
+    payload = _checked_kind("h2h", payload)
     return {
         "labels": list(payload["labels"]),
         "accepted": dict(payload["accepted"]),
@@ -197,6 +262,22 @@ def _merge_h2h(point: PointSpec, shards: list) -> dict:
             for b, n in shard["wins"][a].items():
                 wins[a][b] += n
     return {"labels": labels, "accepted": accepted, "wins": wins, "sets": sets}
+
+
+register_shard_kind(
+    "stats",
+    run=_run_stats_shard,
+    encode=_encode_stats,
+    decode=_decode_stats,
+    merge=_merge_stats,
+)
+register_shard_kind(
+    "h2h",
+    run=_run_h2h_shard,
+    encode=_encode_h2h,
+    decode=_decode_h2h,
+    merge=_merge_h2h,
+)
 
 
 class Engine:
@@ -273,14 +354,15 @@ class Engine:
     def _checkpoint(self, point: PointSpec, start: int, count: int, result) -> None:
         if self.store is not None:
             self.store.put(
-                shard_key(point, start, count), _encode_shard(point.kind, result)
+                shard_key(point, start, count),
+                shard_kind(point.kind).encode(result),
             )
 
     def _compute_missing(
         self, point: PointSpec, missing: list[tuple[int, int]], jobs: int
     ) -> dict[int, object]:
         """Run the uncached shards, checkpointing each as it completes."""
-        run_shard = _SHARD_RUNNERS[point.kind]
+        run_shard = shard_kind(point.kind).run
         results: dict[int, object] = {}
 
         def finish(start: int, count: int, result, seconds: float) -> None:
@@ -352,9 +434,11 @@ class Engine:
     def evaluate(self, point: PointSpec):
         """Evaluate one data point, resuming from checkpointed shards.
 
-        Returns ``dict[label, SchemeStats]`` for ``kind="stats"`` points
-        and the merged dominance payload for ``kind="h2h"`` points.
+        Returns ``dict[label, SchemeStats]`` for ``kind="stats"`` points,
+        the merged dominance payload for ``kind="h2h"`` points, and the
+        merged campaign payload for ``kind="validate"`` points.
         """
+        kind = shard_kind(point.kind)
         jobs = self._effective_jobs(point.sets)
         shards = plan_shards(point.sets, jobs)
         self.stats.points += 1
@@ -369,7 +453,7 @@ class Engine:
                 else None
             )
             if cached is not None:
-                results[start] = _decode_shard(point.kind, cached)
+                results[start] = kind.decode(cached)
                 self.stats.cache_hits += 1
                 if obs.OBS.enabled:
                     obs.counter("engine.cache_hits").inc()
@@ -383,8 +467,7 @@ class Engine:
 
         results.update(self._compute_missing(point, missing, jobs) if missing else {})
         ordered = [results[start] for start, _ in shards]
-        merge = _merge_stats if point.kind == "stats" else _merge_h2h
-        return merge(point, ordered)
+        return kind.merge(point, ordered)
 
     def run(self, spec: ExperimentSpec) -> SweepArtifact:
         """Evaluate a whole figure spec into a :class:`SweepArtifact`."""

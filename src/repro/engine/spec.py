@@ -29,8 +29,11 @@ __all__ = [
 
 #: Evaluation modes a :class:`PointSpec` supports: ``stats`` accumulates
 #: the four paper metrics per scheme; ``h2h`` tallies the pairwise
-#: dominance matrix over the common task-set batch.
-POINT_KINDS = ("stats", "h2h")
+#: dominance matrix over the common task-set batch; ``validate`` sweeps
+#: the task sets through the :mod:`repro.validate` oracle registry.
+#: The engine resolves each kind's runner/codec through its shard-kind
+#: registry (:func:`repro.engine.core.shard_kind`).
+POINT_KINDS = ("stats", "h2h", "validate")
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,8 @@ All four evaluation metrics of Section IV-A:
 * **average core utilization** ``U_avg = (1/M) sum_m U^{Psi_m}``
   (Eq. (11));
 * **workload imbalance factor**
-  ``Lambda = (U_sys - min_m U^{Psi_m}) / U_sys`` (Eq. (16)).
+  ``Lambda = (U_sys - min_m U^{Psi_m}) / U_sys`` (Eq. (16)), with the
+  ``min`` taken over loaded cores only (see :func:`imbalance_factor`).
 
 The paper evaluates the last three over *schedulable* task sets only;
 the aggregation layer enforces that.
@@ -50,11 +51,20 @@ def average_core_utilization(utils: np.ndarray) -> float:
 
 
 def imbalance_factor(utils: np.ndarray) -> float:
-    """``Lambda`` (Eq. (16)); 0 for a fully idle system."""
+    """``Lambda`` (Eq. (16)) over the *loaded* cores.
+
+    The ``min`` excludes idle cores (utilization ``<= EPS``), matching
+    the loaded-core convention of the CA-TPA Eq.-(16) override: an
+    untouched core would otherwise pin ``Lambda`` at exactly 1 whenever
+    the workload fits on fewer cores than the machine has.  A system
+    with at most one loaded core is perfectly balanced (``Lambda`` = 0).
+    """
+    utils = np.asarray(utils, dtype=np.float64)
     u_sys = float(np.max(utils))
     if u_sys <= EPS:
         return 0.0
-    return (u_sys - float(np.min(utils))) / u_sys
+    loaded = utils[utils > EPS]
+    return (u_sys - float(loaded.min())) / u_sys
 
 
 def partition_metrics(partition: Partition, utils: np.ndarray | None = None) -> dict:

@@ -21,9 +21,9 @@ Eq.-(16) semantics: cores that are still idle are **excluded** from the
 override exists to re-balance the cores the packing has already loaded;
 an untouched core would pin ``Lambda`` at exactly 1 and make the
 min-utilization rule — not the paper's min-increment rule — place the
-first ``M`` tasks for every ``alpha < 1``.  (Idle cores still count in
-the *final* reported imbalance metric, :func:`repro.metrics.imbalance_factor`,
-exactly as Eq. (16) reads for a finished partition.)
+first ``M`` tasks for every ``alpha < 1``.  The *reported* imbalance
+metric, :func:`repro.metrics.imbalance_factor`, follows the same
+loaded-core convention for finished partitions.
 
 The Eq.-(15) probes run through the vectorized batch engine
 (:func:`repro.partition.probe.batch_probe`): one ``(M, K, K)`` NumPy

@@ -18,6 +18,20 @@ The simulator implements the run-time rules of Sections II-III:
 The loop advances from event to event (release / completion / budget
 boundary), so simulated time is exact up to float rounding; no quantum
 is involved.
+
+Time comparison convention
+--------------------------
+Every float comparison goes through :func:`time_after` /
+:func:`time_reached` with the single tolerance ``TIME_EPS``: two
+instants (or durations) closer than ``TIME_EPS`` are the *same*
+instant.  Two consequences worth spelling out:
+
+* a demand within ``TIME_EPS`` of the level-``m`` budget counts as
+  completing *at* the budget, never as an overrun — the budget trigger
+  only arms for ``exec_time`` strictly beyond the budget;
+* when a budget overrun coincides with a release (same instant up to
+  ``TIME_EPS``), the mode is raised *first*, so the coinciding release
+  is admitted or dropped under the raised mode, as AMC requires.
 """
 
 from __future__ import annotations
@@ -35,10 +49,26 @@ from repro.sched.scenario import ExecutionScenario
 from repro.sched.trace import EventKind, ExecutionSlice, Trace, TraceEvent
 from repro.types import SimulationError
 
-__all__ = ["CoreSimulator", "CoreReport", "DeadlineMiss"]
+__all__ = [
+    "CoreSimulator",
+    "CoreReport",
+    "DeadlineMiss",
+    "time_after",
+    "time_reached",
+]
 
 #: Simulation time comparison tolerance.
 TIME_EPS: float = 1e-9
+
+
+def time_after(a: float, b: float) -> bool:
+    """True when ``a`` lies strictly after ``b`` (beyond ``TIME_EPS``)."""
+    return a > b + TIME_EPS
+
+
+def time_reached(a: float, b: float) -> bool:
+    """True when ``a`` has reached ``b`` (equal within ``TIME_EPS`` or past)."""
+    return a >= b - TIME_EPS
 
 
 @dataclass(frozen=True)
@@ -62,6 +92,7 @@ class CoreReport:
     completed: int = 0
     dropped: int = 0  #: jobs cancelled by mode switches or dropped at release
     censored: int = 0  #: jobs whose deadline lies beyond the horizon
+    pending: int = 0  #: jobs still in the ready queue at the horizon
     mode_switches: int = 0
     idle_resets: int = 0
     max_mode: int = 1
@@ -176,7 +207,7 @@ class CoreSimulator:
                 )
                 seq += 1
                 report.released += 1
-                if job.deadline > horizon + TIME_EPS:
+                if time_after(job.deadline, horizon):
                     report.censored += 1
                 record(EventKind.RELEASE, now, int(i))
                 if job.level < mode:
@@ -219,7 +250,7 @@ class CoreSimulator:
             job.completion = now
             report.completed += 1
             record(EventKind.COMPLETE, now, job.task_index)
-            if job.deadline <= horizon + TIME_EPS and now > job.deadline + TIME_EPS:
+            if not time_after(job.deadline, horizon) and time_after(now, job.deadline):
                 record(EventKind.MISS, now, job.task_index)
                 report.misses.append(
                     DeadlineMiss(
@@ -231,7 +262,7 @@ class CoreSimulator:
                     )
                 )
 
-        while time < horizon - TIME_EPS:
+        while not time_reached(time, horizon):
             release_due(time)
             if not ready:
                 if mode != 1:
@@ -252,8 +283,8 @@ class CoreSimulator:
             budget_trigger = np.inf
             if job.level > mode:
                 budget = task.wcet(mode)
-                if job.exec_time > budget + TIME_EPS:
-                    if job.executed >= budget - TIME_EPS:
+                if time_after(job.exec_time, budget):
+                    if time_reached(job.executed, budget):
                         # Already at the boundary (e.g. a release landed
                         # exactly there): the overrun happens the instant
                         # the job resumes.
@@ -285,19 +316,26 @@ class CoreSimulator:
                     )
             time = run_until
 
-            if completion_at <= min(next_event, budget_trigger) + TIME_EPS and (
-                job.remaining <= TIME_EPS
-            ):
+            # Zero remaining demand means the job ran to (within
+            # TIME_EPS of) completion before any release or budget
+            # boundary.  When the trigger is armed the demand left at
+            # the boundary is exec_time - budget > TIME_EPS, so the two
+            # branches are mutually exclusive.  The trigger branch
+            # deliberately ignores next_event: a release coinciding
+            # with the budget instant must be processed under the
+            # raised mode (see module docstring).
+            if not time_after(job.remaining, 0.0):
                 heapq.heappop(ready)
                 finish(job, time)
-            elif budget_trigger < next_event - TIME_EPS and time >= budget_trigger - TIME_EPS:
+            elif time_reached(time, budget_trigger):
                 raise_mode(time)
                 rebuild()
             # else: a release preempts; loop handles it.
 
         # Horizon reached: pending jobs whose deadline passed are misses.
+        report.pending = len(ready)
         for _, _, job in ready:
-            if job.deadline <= horizon + TIME_EPS and job.remaining > TIME_EPS:
+            if not time_after(job.deadline, horizon) and time_after(job.remaining, 0.0):
                 report.misses.append(
                     DeadlineMiss(
                         task_index=job.task_index,
@@ -328,6 +366,7 @@ def _record_core_report(report: CoreReport) -> None:
     reg.counter("sim.released").inc(report.released)
     reg.counter("sim.completed").inc(report.completed)
     reg.counter("sim.dropped").inc(report.dropped)
+    reg.counter("sim.pending").inc(report.pending)
     reg.counter("sim.censored").inc(report.censored)
     reg.counter("sim.mode_up").inc(report.mode_switches)
     reg.counter("sim.idle_reset").inc(report.idle_resets)

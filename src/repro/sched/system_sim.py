@@ -31,7 +31,15 @@ def default_horizon(partition: Partition, cycles: float = 20.0) -> float:
     2000) are astronomically long; a few tens of max-period cycles
     exercise every release phase relation that matters in practice.
     """
-    return cycles * max(t.period for t in partition.taskset)
+    if cycles <= 0:
+        raise SimulationError(f"cycles must be positive, got {cycles}")
+    longest = max((t.period for t in partition.taskset), default=None)
+    if longest is None:
+        raise SimulationError(
+            "cannot derive a horizon from an empty task set; "
+            "pass an explicit horizon instead"
+        )
+    return cycles * longest
 
 
 @dataclass
@@ -55,6 +63,10 @@ class SystemReport:
     @property
     def dropped(self) -> int:
         return sum(r.dropped for r in self.core_reports if r is not None)
+
+    @property
+    def pending(self) -> int:
+        return sum(r.pending for r in self.core_reports if r is not None)
 
     @property
     def mode_switches(self) -> int:
@@ -87,6 +99,7 @@ class SystemReport:
             "sim.released": self.released,
             "sim.completed": self.completed,
             "sim.dropped": self.dropped,
+            "sim.pending": self.pending,
             "sim.censored": sum(
                 r.censored for r in self.core_reports if r is not None
             ),

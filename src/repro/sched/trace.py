@@ -84,7 +84,9 @@ def render_timeline(
     for s in trace.slices:
         if s.start >= until:
             continue
-        first = int(s.start / scale)
+        # Clamp both ends: a start just below ``until`` can round up to
+        # column ``width`` (e.g. 0.8999999999999999 / (0.9 / 3) == 3.0).
+        first = min(int(s.start / scale), width - 1)
         last = min(int(max(s.start, min(s.end, until) - 1e-9) / scale), width - 1)
         for col in range(first, last + 1):
             rows[s.task_index][col] = "#"

@@ -1,0 +1,61 @@
+"""repro.validate — differential validation harness.
+
+Cross-layer invariants (:mod:`~repro.validate.oracles`) checked over
+seeded fuzzed workloads (:mod:`~repro.validate.fuzz`, riding the
+resumable experiment engine), with failing cases reduced to minimal
+JSON repro files (:mod:`~repro.validate.shrink`).  The CLI front end is
+``repro-mc validate``; the invariants and file formats are documented
+in docs/API.md ("Validation").
+"""
+
+from repro.validate.fuzz import (
+    CAMPAIGN_CONFIGS,
+    CampaignResult,
+    OracleFailure,
+    campaign_points,
+    make_case,
+    run_campaign,
+    run_case,
+)
+from repro.validate.oracles import (
+    SIM_CYCLES,
+    Oracle,
+    ValidationCase,
+    all_oracles,
+    get_oracle,
+    register_oracle,
+)
+from repro.validate.shrink import (
+    REPRO_FORMAT,
+    REPRO_VERSION,
+    check_repro,
+    counterexample_dict,
+    load_repro,
+    shrink_case,
+    shrink_failure,
+    write_repro,
+)
+
+__all__ = [
+    "CAMPAIGN_CONFIGS",
+    "REPRO_FORMAT",
+    "REPRO_VERSION",
+    "SIM_CYCLES",
+    "CampaignResult",
+    "Oracle",
+    "OracleFailure",
+    "ValidationCase",
+    "all_oracles",
+    "campaign_points",
+    "check_repro",
+    "counterexample_dict",
+    "get_oracle",
+    "load_repro",
+    "make_case",
+    "run_campaign",
+    "run_case",
+    "register_oracle",
+    "shrink_case",
+    "shrink_failure",
+    "write_repro",
+]

@@ -1,0 +1,408 @@
+"""Cross-layer invariant oracles for differential validation.
+
+Each oracle is a named *differential* check over one generated task set
+(a :class:`ValidationCase`): two independently-coded paths through the
+stack — analysis vs. simulation, scalar vs. vectorized, report fields
+vs. obs counters — must agree.  An oracle returns a list of
+human-readable failure messages; an empty list means the invariant
+held.  The seeded fuzz driver (:mod:`repro.validate.fuzz`) sweeps
+generated workloads through every registered oracle, and the shrinker
+(:mod:`repro.validate.shrink`) reduces any failure to a minimal repro.
+
+The registry is deliberately open: downstream experiments can
+``@register_oracle`` additional invariants and they are picked up by
+``repro-mc validate`` automatically.
+
+Built-in oracles
+----------------
+``probe-scalar-batch``
+    The scalar and batch probe engines make bit-identical placement
+    decisions for every scheme.
+``theorem1-eq7-k2``
+    At ``K = 2``, Ineq. (5) (Theorem 1) agrees with the classical
+    dual-criticality test Eq. (7) on every core's level matrix.
+``admission-monotonicity``
+    Uniformly scaling a feasible core's demand *down* never makes it
+    infeasible, and a ``schedulable`` partition result implies every
+    core passes the Theorem-1 analysis.
+``schedulable-no-miss``
+    A Theorem-1-schedulable partition misses no deadlines in runtime
+    simulation under honest, worst-case, and random overrun scenarios.
+``trace-busy-time``
+    Execution-slice accounting (``Trace.busy_time``) and event tallies
+    reconcile exactly with the :class:`~repro.sched.CoreReport`.
+``job-conservation``
+    Every released job is accounted for:
+    ``released == completed + dropped + pending``, per core and
+    system-wide.
+``telemetry-counters``
+    Running instrumented changes nothing, and the report's
+    ``telemetry()`` reconciles key-for-key with the ``sim.*`` obs
+    counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis import (
+    DualUtilizations,
+    assign_virtual_deadlines,
+    is_feasible_core,
+    is_feasible_dual,
+    is_feasible_theorem1,
+)
+from repro.engine.spec import SchemeSpec, default_schemes
+from repro.gen.params import WorkloadConfig
+from repro.model import MCTaskSet
+from repro.obs import runtime as obs
+from repro.partition.base import PartitionResult
+from repro.partition.probe import use_probe_implementation
+from repro.sched import (
+    CoreSimulator,
+    HonestScenario,
+    LevelScenario,
+    RandomScenario,
+    SystemSimulator,
+    default_horizon,
+)
+from repro.types import ReproError
+
+__all__ = [
+    "SIM_CYCLES",
+    "Oracle",
+    "ValidationCase",
+    "all_oracles",
+    "get_oracle",
+    "register_oracle",
+]
+
+#: Default simulation span in multiples of the longest period.  Five
+#: cycles keep a fuzz case in the low milliseconds while still crossing
+#: enough release-phase relations to exercise the AMC protocol.
+SIM_CYCLES = 5.0
+
+
+@dataclass(eq=False)
+class ValidationCase:
+    """One fuzz case: a task set plus everything the oracles need.
+
+    Partition outcomes are computed lazily and cached — several oracles
+    look at the same schedulable partition, and partitioning (not
+    checking) dominates the cost of a case.  The case therefore must be
+    treated as immutable: the shrinker builds a *fresh* case per
+    candidate task set instead of mutating one.
+    """
+
+    taskset: MCTaskSet
+    config: WorkloadConfig
+    schemes: tuple[SchemeSpec, ...] = ()
+    seed: int = 0
+    set_index: int = 0
+    sim_cycles: float = SIM_CYCLES
+    _results: dict[str, PartitionResult] | None = field(
+        default=None, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.schemes:
+            self.schemes = tuple(default_schemes())
+
+    def scheme_results(self) -> dict[str, PartitionResult]:
+        """Partition outcome per scheme label (batch probe engine), cached."""
+        if self._results is None:
+            with use_probe_implementation("batch"):
+                self._results = {
+                    spec.label: spec.build().partition(
+                        self.taskset, self.config.cores
+                    )
+                    for spec in self.schemes
+                }
+        return self._results
+
+    def first_schedulable(self) -> tuple[str, PartitionResult] | tuple[None, None]:
+        """The first scheme (in spec order) that produced a feasible partition."""
+        for label, result in self.scheme_results().items():
+            if result.schedulable:
+                return label, result
+        return None, None
+
+    def sim_seed(self, salt: int) -> np.random.SeedSequence:
+        """Deterministic per-case simulation seed stream.
+
+        The spawn key folds in the set index and a per-use salt, so
+        different oracles (and different scenarios within one oracle)
+        draw independent — but reproducible — streams.
+        """
+        return np.random.SeedSequence(
+            self.seed, spawn_key=(self.set_index, 0xCA5E, salt)
+        )
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A named cross-layer invariant over one :class:`ValidationCase`.
+
+    ``check(case)`` returns failure messages; empty means the invariant
+    held for this case.
+    """
+
+    name: str
+    description: str
+    check: Callable[[ValidationCase], list[str]]
+
+
+_ORACLES: dict[str, Oracle] = {}
+
+
+def register_oracle(name: str, description: str):
+    """Decorator: register ``fn(case) -> list[str]`` under ``name``."""
+
+    def decorate(fn: Callable[[ValidationCase], list[str]]):
+        _ORACLES[name] = Oracle(name=name, description=description, check=fn)
+        return fn
+
+    return decorate
+
+
+def all_oracles() -> tuple[Oracle, ...]:
+    """Every registered oracle, in deterministic (sorted-name) order."""
+    return tuple(_ORACLES[name] for name in sorted(_ORACLES))
+
+
+def get_oracle(name: str) -> Oracle:
+    try:
+        return _ORACLES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown oracle {name!r}; registered: {sorted(_ORACLES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Built-in oracles
+# ----------------------------------------------------------------------
+
+
+@register_oracle(
+    "probe-scalar-batch",
+    "scalar and batch probe engines make identical placement decisions",
+)
+def _check_probe_equivalence(case: ValidationCase) -> list[str]:
+    failures = []
+    batch = case.scheme_results()
+    with use_probe_implementation("scalar"):
+        for spec in case.schemes:
+            b = batch[spec.label]
+            s = spec.build().partition(case.taskset, case.config.cores)
+            if (
+                s.schedulable != b.schedulable
+                or s.failed_task != b.failed_task
+                or not np.array_equal(s.assignment, b.assignment)
+            ):
+                failures.append(
+                    f"{spec.label}: scalar/batch probes disagree "
+                    f"(schedulable {s.schedulable}/{b.schedulable}, "
+                    f"failed_task {s.failed_task}/{b.failed_task}, "
+                    f"assignment {s.assignment.tolist()} vs {b.assignment.tolist()})"
+                )
+    return failures
+
+
+@register_oracle(
+    "theorem1-eq7-k2",
+    "Ineq. (5) at K=2 agrees with the dual-criticality Eq. (7)",
+)
+def _check_dual_equivalence(case: ValidationCase) -> list[str]:
+    if case.taskset.levels != 2:
+        return []
+    matrices = [("whole set", case.taskset.level_matrix())]
+    label, result = case.first_schedulable()
+    if result is not None:
+        part = result.partition
+        matrices += [
+            (f"{label} core {m}", part.level_matrix(m))
+            for m in range(part.cores)
+            if part.core_size(m)
+        ]
+    failures = []
+    for what, mat in matrices:
+        theorem1 = is_feasible_theorem1(mat)
+        eq7 = is_feasible_dual(DualUtilizations.from_level_matrix(mat))
+        if theorem1 != eq7:
+            failures.append(
+                f"{what}: Theorem 1 says {theorem1} but Eq. (7) says {eq7} "
+                f"for level matrix {mat.tolist()}"
+            )
+    return failures
+
+
+@register_oracle(
+    "admission-monotonicity",
+    "scaling a feasible core's demand down never breaks feasibility",
+)
+def _check_admission_monotonicity(case: ValidationCase) -> list[str]:
+    failures = []
+    for label, result in case.scheme_results().items():
+        if not result.schedulable:
+            continue
+        part = result.partition
+        for m in range(part.cores):
+            if not part.core_size(m):
+                continue
+            mat = part.level_matrix(m)
+            if not is_feasible_core(mat):
+                failures.append(
+                    f"{label}: result claims schedulable but core {m} "
+                    f"fails the admission test (matrix {mat.tolist()})"
+                )
+                continue
+            for scale in (0.9, 0.75, 0.5):
+                if not is_feasible_core(mat * scale):
+                    failures.append(
+                        f"{label}: core {m} is feasible at full demand but "
+                        f"infeasible at x{scale} (matrix {mat.tolist()})"
+                    )
+    return failures
+
+
+@register_oracle(
+    "schedulable-no-miss",
+    "a Theorem-1-schedulable partition never misses a deadline in simulation",
+)
+def _check_schedulable_no_miss(case: ValidationCase) -> list[str]:
+    label, result = case.first_schedulable()
+    if result is None:
+        return []
+    horizon = default_horizon(result.partition, cycles=case.sim_cycles)
+    scenarios = [
+        ("honest", HonestScenario()),
+        (f"level-{case.taskset.levels}", LevelScenario(target=case.taskset.levels)),
+        ("random", RandomScenario(overrun_prob=0.3)),
+    ]
+    failures = []
+    for salt, (name, scenario) in enumerate(scenarios):
+        report = SystemSimulator(
+            result.partition, scenario, horizon=horizon
+        ).run(seed=case.sim_seed(salt))
+        if report.miss_count:
+            failures.append(
+                f"{label}: {report.miss_count} deadline miss(es) under the "
+                f"{name} scenario over horizon {horizon:g}"
+            )
+    return failures
+
+
+@register_oracle(
+    "trace-busy-time",
+    "trace slices and event tallies reconcile with the core report",
+)
+def _check_trace_busy_time(case: ValidationCase) -> list[str]:
+    label, result = case.first_schedulable()
+    if result is None:
+        return []
+    part = result.partition
+    core = next((m for m in range(part.cores) if part.core_size(m)), None)
+    if core is None:
+        return []
+    subset = part.taskset.subset(part.tasks_on(core))
+    plan = assign_virtual_deadlines(subset)
+    if plan is None:
+        return [
+            f"{label}: partition is schedulable but assign_virtual_deadlines "
+            f"refuses core {core}"
+        ]
+    horizon = case.sim_cycles * max(t.period for t in subset)
+    report = CoreSimulator(
+        subset=subset,
+        plan=plan,
+        scenario=LevelScenario(target=subset.levels),
+        rng=np.random.default_rng(case.sim_seed(101)),
+        horizon=horizon,
+        record_trace=True,
+    ).run()
+    failures = []
+    busy = report.trace.busy_time()
+    if abs(busy - report.busy_time) > 1e-6 * max(1.0, report.busy_time):
+        failures.append(
+            f"core {core}: Trace.busy_time() {busy!r} != "
+            f"CoreReport.busy_time {report.busy_time!r}"
+        )
+    counts = report.trace.counts()
+    tallies = (
+        ("release", report.released),
+        ("complete", report.completed),
+        ("drop", report.dropped),
+        ("mode_up", report.mode_switches),
+        ("idle_reset", report.idle_resets),
+    )
+    for kind, reported in tallies:
+        if counts[kind] != reported:
+            failures.append(
+                f"core {core}: trace counts {counts[kind]} {kind} events "
+                f"but the report says {reported}"
+            )
+    return failures
+
+
+@register_oracle(
+    "job-conservation",
+    "released == completed + dropped + pending, per core and system-wide",
+)
+def _check_job_conservation(case: ValidationCase) -> list[str]:
+    label, result = case.first_schedulable()
+    if result is None:
+        return []
+    horizon = default_horizon(result.partition, cycles=case.sim_cycles)
+    report = SystemSimulator(
+        result.partition, LevelScenario(target=case.taskset.levels), horizon=horizon
+    ).run(seed=case.sim_seed(202))
+    failures = []
+    for m, core in enumerate(report.core_reports):
+        if core is None:
+            continue
+        if core.released != core.completed + core.dropped + core.pending:
+            failures.append(
+                f"core {m}: {core.released} released != {core.completed} "
+                f"completed + {core.dropped} dropped + {core.pending} pending"
+            )
+    if report.released != report.completed + report.dropped + report.pending:
+        failures.append(
+            f"system: {report.released} released != {report.completed} "
+            f"completed + {report.dropped} dropped + {report.pending} pending"
+        )
+    return failures
+
+
+@register_oracle(
+    "telemetry-counters",
+    "instrumented runs change nothing and reconcile with sim.* counters",
+)
+def _check_telemetry_counters(case: ValidationCase) -> list[str]:
+    label, result = case.first_schedulable()
+    if result is None:
+        return []
+    horizon = default_horizon(result.partition, cycles=case.sim_cycles)
+    sim = SystemSimulator(
+        result.partition, RandomScenario(overrun_prob=0.3), horizon=horizon
+    )
+    plain = sim.run(seed=case.sim_seed(303))
+    with obs.collect() as registry:
+        instrumented = sim.run(seed=case.sim_seed(303))
+        counters = registry.snapshot()["counters"]
+    failures = []
+    if plain.telemetry() != instrumented.telemetry():
+        failures.append(
+            f"{label}: enabling instrumentation changed the simulation "
+            f"({plain.telemetry()} vs {instrumented.telemetry()})"
+        )
+    for key, value in instrumented.telemetry().items():
+        recorded = counters.get(key, 0)
+        if recorded != value:
+            failures.append(
+                f"{key}: report says {value} but the obs counter says {recorded}"
+            )
+    return failures

@@ -153,10 +153,10 @@ class TestHeadToHeadThroughEngine:
         )
 
     def test_mismatched_kind_payload_rejected(self):
-        from repro.engine.core import _decode_shard
+        from repro.engine.core import shard_kind
 
         with pytest.raises(ReproError, match="kind"):
-            _decode_shard("stats", {"kind": "h2h"})
+            shard_kind("stats").decode({"kind": "h2h"})
 
 
 class TestRunValidation:

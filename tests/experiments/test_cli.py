@@ -11,7 +11,7 @@ from repro.engine import SweepArtifact
 from repro.experiments import sweeps
 from repro.obs import load_manifest
 
-SUBCOMMANDS = ["fig1", "fig2", "fig3", "fig4", "fig5", "tables", "all"]
+SUBCOMMANDS = ["fig1", "fig2", "fig3", "fig4", "fig5", "tables", "all", "validate"]
 
 
 def _tiny_fig1():
@@ -205,6 +205,70 @@ class TestObservability:
         assert (plain_dir / "fig1.json").read_text() == (
             inst_dir / "fig1.json"
         ).read_text()
+
+
+class TestValidate:
+    def test_green_campaign_exits_zero(self, capsys):
+        assert cli.main(["validate", "--sets", "2", "--seed", "0", "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "all green" in out
+        assert "[validate done in" in out
+
+    def test_failing_campaign_writes_shrunk_repro_and_exits_one(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        from repro import validate as validate_pkg
+        from repro.gen import WorkloadConfig
+        from repro.validate import CampaignResult, OracleFailure
+
+        failure = OracleFailure(
+            oracle="schedulable-no-miss",
+            config=WorkloadConfig(cores=2, levels=2),
+            schemes=(),
+            seed=0,
+            set_index=3,
+            messages=("2 deadline miss(es)",),
+            taskset_doc={},
+        )
+        result = CampaignResult(points=(), cases=1, checks=7, failures=(failure,))
+        doc = {
+            "oracle": "schedulable-no-miss",
+            "seed": 0,
+            "set_index": 3,
+            "config": {"cores": 2, "levels": 2, "nsu": 0.6},
+            "taskset": {"tasks": [{}, {}]},
+        }
+        monkeypatch.setattr(validate_pkg, "run_campaign", lambda *a, **k: result)
+        monkeypatch.setattr(validate_pkg, "shrink_failure", lambda f: doc)
+        repro_dir = tmp_path / "counterexamples"
+        argv = ["validate", "--sets", "1", "--no-store", "--repro-dir", str(repro_dir)]
+        assert cli.main(argv) == 1
+        out = capsys.readouterr().out
+        assert "1 FAILURE(S)" in out
+        assert "2 deadline miss(es)" in out
+        assert "(2 tasks)" in out
+        written = list(repro_dir.glob("*.json"))
+        assert len(written) == 1
+        assert written[0].name == "schedulable-no-miss-seed0-set3-M2K2-nsu0p6.json"
+
+    def test_metrics_snapshot_counts_validate_cases(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        argv = [
+            "validate",
+            "--sets",
+            "1",
+            "--seed",
+            "0",
+            "--no-store",
+            "--metrics",
+            str(metrics_path),
+        ]
+        assert cli.main(argv) == 0
+        payload = json.loads(metrics_path.read_text())
+        counters = payload["metrics"]["counters"]
+        # 4 campaign configs x 1 set each, 7 oracles per case.
+        assert counters["validate.cases"] == 4
+        assert counters["validate.checks"] == 28
 
 
 class TestInspect:

@@ -1,5 +1,6 @@
 """Tests for the batch evaluation runner."""
 
+import dataclasses
 from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
@@ -136,6 +137,11 @@ class TestWorkerCrashRecovery:
         def explode(*args, **kwargs):
             raise RuntimeError("inline retry also died")
 
-        monkeypatch.setitem(engine_core._SHARD_RUNNERS, "stats", explode)
+        stats_kind = engine_core._SHARD_KINDS["stats"]
+        monkeypatch.setitem(
+            engine_core._SHARD_KINDS,
+            "stats",
+            dataclasses.replace(stats_kind, run=explode),
+        )
         with pytest.raises(ReproError, match=r"shard \[0, 3\)"):
             evaluate_point(SMALL, sets=10, seed=9, jobs=3)

@@ -34,7 +34,9 @@ class TestAccumulator:
         stats = acc.finalize()
         assert stats.u_sys == pytest.approx(0.9)
         assert stats.u_avg == pytest.approx(0.45)
-        assert stats.imbalance == pytest.approx(1.0)
+        # Loaded-core Lambda: the idle second core is excluded, and a
+        # single loaded core is perfectly balanced.
+        assert stats.imbalance == pytest.approx(0.0)
 
     def test_empty_schedulable_gives_nan(self):
         acc = SchemeAccumulator("ffd")

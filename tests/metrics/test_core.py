@@ -45,8 +45,13 @@ class TestVectorMetrics:
     def test_imbalance_idle_system_is_zero(self):
         assert imbalance_factor(np.zeros(4)) == 0.0
 
-    def test_imbalance_with_empty_core_is_one(self):
-        assert imbalance_factor(np.array([0.7, 0.0])) == pytest.approx(1.0)
+    def test_imbalance_excludes_empty_cores(self):
+        # Loaded-core convention (matches the CA-TPA Eq.-(16) override):
+        # idle cores do not pin Lambda at 1.
+        assert imbalance_factor(np.array([0.8, 0.4, 0.0])) == pytest.approx(0.5)
+
+    def test_imbalance_single_loaded_core_is_zero(self):
+        assert imbalance_factor(np.array([0.7, 0.0])) == 0.0
 
 
 class TestPartitionMetrics:

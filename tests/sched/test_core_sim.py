@@ -110,6 +110,88 @@ class TestModeSwitches:
         assert report.miss_count == 0
 
 
+class TestBudgetBoundaries:
+    """Exact-boundary workloads pinning the TIME_EPS comparison policy."""
+
+    def fixed_priority(self):
+        # Static priorities (index order) keep the dispatch order exact:
+        # t0 (LO, period 5) always preempts t1 (HI).  With LevelScenario
+        # t1 draws 9.0 against a level-1 budget of 4.0, so it runs
+        # [1, 5) and hits the budget at t=5.0 — exactly the instant of
+        # t0's second release (1.0 + 4.0 == 5.0 in floats).
+        subset = MCTaskSet(
+            [
+                MCTask(wcets=(1.0,), period=5.0, name="lo"),
+                MCTask(wcets=(4.0, 9.0), period=30.0, name="hi"),
+            ],
+            levels=2,
+        )
+        plan = assign_virtual_deadlines(subset)
+        assert plan is not None
+        return CoreSimulator(
+            subset=subset,
+            plan=plan,
+            scenario=LevelScenario(target=2),
+            rng=np.random.default_rng(0),
+            horizon=30.0,
+            record_trace=True,
+            priority_fn=lambda job, mode: job.task_index,
+        )
+
+    def test_release_at_budget_instant_sees_raised_mode(self):
+        # Regression: when the budget trigger coincided with a release,
+        # the mode raise was deferred until after the release was
+        # admitted at the *old* mode, so the LO job ran to completion
+        # instead of being dropped at release.
+        report = self.fixed_priority().run()
+        from repro.sched.trace import EventKind
+
+        mode_ups = report.trace.events_of(EventKind.MODE_UP)
+        assert [e.time for e in mode_ups] == pytest.approx([5.0])
+        # LO releases at t=5 (raised mode) and t=10 (mode still high,
+        # dropped just before the idle reset) must both be dropped.
+        assert report.dropped == 2
+        # No execution slice of the LO task may start at or after t=5
+        # until the idle reset at t=10 returns the core to mode 1.
+        lo_after = [
+            s for s in report.trace.slices
+            if s.task_index == 0 and 5.0 - 1e-9 <= s.start < 10.0
+        ]
+        assert lo_after == []
+
+    def test_demand_equal_to_budget_completes_without_switch(self):
+        # completion == budget: a HI job whose demand equals its level-1
+        # budget exactly completes at the boundary and must not raise
+        # the mode (overruns within TIME_EPS count as completions).
+        subset = MCTaskSet(
+            [MCTask(wcets=(4.0, 9.0), period=10.0, name="hi")], levels=2
+        )
+        plan = assign_virtual_deadlines(subset)
+        report = CoreSimulator(
+            subset, plan, HonestScenario(), np.random.default_rng(0), 100.0
+        ).run()
+        assert report.mode_switches == 0
+        assert report.completed == report.released
+        assert report.miss_count == 0
+
+    def test_overrun_within_eps_of_budget_is_a_completion(self):
+        from repro.sched.core_sim import TIME_EPS
+
+        class _EpsOver:
+            def draw(self, task, rng):
+                return task.wcet(1) + TIME_EPS / 2
+
+        subset = MCTaskSet(
+            [MCTask(wcets=(4.0, 9.0), period=10.0, name="hi")], levels=2
+        )
+        plan = assign_virtual_deadlines(subset)
+        report = CoreSimulator(
+            subset, plan, _EpsOver(), np.random.default_rng(0), 100.0
+        ).run()
+        assert report.mode_switches == 0
+        assert report.miss_count == 0
+
+
 class TestMissAccounting:
     def test_overloaded_plain_edf_misses(self):
         # Deliberately infeasible single-level set (u = 1.3) with an

@@ -81,6 +81,7 @@ class TestTraceReconciliation:
             "sim.released": report.released,
             "sim.completed": report.completed,
             "sim.dropped": report.dropped,
+            "sim.pending": report.pending,
             "sim.censored": report.censored,
             "sim.mode_up": report.mode_switches,
             "sim.idle_reset": report.idle_resets,
@@ -95,6 +96,7 @@ class TestTraceReconciliation:
         subset, plan = sp
         report, _ = _run(subset, plan, SCENARIOS[scenario_i], seed)
         pending = report.released - report.completed - report.dropped
+        assert pending == report.pending
         assert pending >= 0
         # Jobs still pending at the horizon either have a deadline past
         # it (censored) or are late (counted among the misses).

@@ -99,6 +99,61 @@ class TestSystemSimulator:
             part.assign(i, 0)
         assert default_horizon(part) == pytest.approx(20.0 * 25.0)
 
+    def test_default_horizon_empty_taskset_is_clean_error(self):
+        # MCTaskSet forbids empty sets, but default_horizon is also
+        # reachable with partition-like objects (e.g. a filtered view);
+        # it must fail with SimulationError, not a bare ValueError from
+        # max() over an empty generator.
+        class _EmptyPartition:
+            taskset = ()
+
+        with pytest.raises(SimulationError, match="empty task set"):
+            default_horizon(_EmptyPartition())
+
+    def test_default_horizon_rejects_non_positive_cycles(self):
+        ts = dual_taskset()
+        part = Partition(ts, cores=1)
+        for i in range(4):
+            part.assign(i, 0)
+        with pytest.raises(SimulationError, match="cycles"):
+            default_horizon(part, cycles=0.0)
+
+    def test_report_aggregation_over_all_empty_cores(self):
+        from repro.sched import SystemReport
+
+        report = SystemReport(core_reports=[None, None, None])
+        assert report.released == 0
+        assert report.completed == 0
+        assert report.dropped == 0
+        assert report.pending == 0
+        assert report.miss_count == 0
+        assert report.mode_switches == 0
+        assert report.idle_resets == 0
+        assert report.max_mode == 1
+        assert report.all_deadlines_met()
+        telemetry = report.telemetry()
+        assert telemetry["sim.cores_simulated"] == 0
+        assert all(v == 0 for v in telemetry.values())
+
+    def test_one_core_partition_aggregates_single_report(self):
+        ts = MCTaskSet(
+            [
+                MCTask(wcets=(3.0,), period=10.0),
+                MCTask(wcets=(4.0, 8.0), period=20.0),
+            ],
+            levels=2,
+        )
+        part = Partition(ts, cores=1)
+        for i in range(2):
+            part.assign(i, 0)
+        report = SystemSimulator(part, HonestScenario(), horizon=200.0).run()
+        assert len(report.core_reports) == 1
+        core = report.core_reports[0]
+        assert report.released == core.released
+        assert report.completed == core.completed
+        assert report.pending == core.pending
+        assert report.released == report.completed + report.dropped + report.pending
+
     def test_seeded_runs_reproducible(self):
         ts = dual_taskset()
         res = CATPA().partition(ts, cores=2)

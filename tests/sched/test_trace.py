@@ -97,6 +97,23 @@ class TestTimeline:
         assert len(lines) == 3  # two task rows + mode row
         assert "#" in lines[0] and "#" in lines[1]
 
+    def test_first_column_clamped_at_right_edge(self):
+        # Regression: a slice starting just below ``until`` can round to
+        # column ``width`` (here 0.8999999999999999 / 0.3 == 3.0 exactly);
+        # only ``last`` was clamped, so ``range(first, last + 1)`` was
+        # empty and the slice silently vanished from the chart.
+        from repro.sched.trace import ExecutionSlice, Trace
+
+        start = 0.8999999999999999
+        until, width = 0.9, 3
+        assert start < until
+        assert int(start / (until / width)) == width
+        trace = Trace(
+            events=[], slices=[ExecutionSlice(start=start, end=1.0, task_index=0)]
+        )
+        art = render_timeline(trace, n_tasks=1, until=until, width=width)
+        assert art.splitlines()[0] == "t0  |  #|"
+
     def test_mode_markers_appear(self):
         _, report = traced_run(
             [

@@ -1,0 +1,91 @@
+"""Engine integration of the validation campaign.
+
+The campaign is just another shard kind: it must checkpoint/resume
+through the ResultStore, survive worker processes (whose interpreters
+have not imported :mod:`repro.validate`), and produce identical
+payloads serial vs. parallel and cold vs. warm.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.core import shard_kind
+from repro.gen import WorkloadConfig
+from repro.types import ReproError
+from repro.validate import campaign_points, run_campaign
+
+TINY = (
+    WorkloadConfig(
+        cores=2,
+        levels=2,
+        nsu=0.6,
+        task_count_range=(5, 8),
+        period_ranges=((10, 60),),
+    ),
+)
+
+
+def _point(sets=6, seed=1):
+    return campaign_points(sets, seed, configs=TINY)[0]
+
+
+class TestShardKind:
+    def test_registered_with_engine(self):
+        kind = shard_kind("validate")
+        assert kind.name == "validate"
+
+    def test_codec_round_trips(self):
+        kind = shard_kind("validate")
+        payload = {"cases": 3, "checks": 21, "failures": []}
+        assert kind.decode(kind.encode(payload)) == payload
+
+    def test_decode_rejects_foreign_kind(self):
+        with pytest.raises(ReproError, match="kind"):
+            shard_kind("validate").decode({"kind": "stats"})
+
+    def test_lazy_provider_import(self):
+        # A fresh interpreter that only imports the engine must still
+        # resolve the validate kind (worker processes depend on this).
+        code = (
+            "from repro.engine.core import shard_kind; "
+            "print(shard_kind('validate').name)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == "validate"
+
+
+class TestEngineEquivalence:
+    def test_parallel_matches_serial(self):
+        serial = Engine(jobs=1).evaluate(_point())
+        parallel = Engine(jobs=3).evaluate(_point())
+        assert serial == parallel
+
+    def test_warm_store_resumes_without_recomputing(self, tmp_path):
+        cold_engine = Engine(jobs=1, store=tmp_path)
+        cold = cold_engine.evaluate(_point())
+        assert cold_engine.stats.shards_computed == 1
+
+        warm_engine = Engine(jobs=1, store=tmp_path)
+        warm = warm_engine.evaluate(_point())
+        assert warm_engine.stats.cache_hits == 1
+        assert warm_engine.stats.shards_computed == 0
+        assert warm == cold
+
+    def test_campaign_merges_all_points(self, tmp_path):
+        result = run_campaign(sets=2, seed=0, store=tmp_path)
+        assert result.cases == 2 * len(result.points)
+        assert result.ok
+
+        # Second run answers fully from the checkpoint store.
+        events = []
+        again = run_campaign(sets=2, seed=0, store=tmp_path, progress=events.append)
+        assert again.cases == result.cases
+        assert all(e["cached"] for e in events if e["event"] == "shard")
