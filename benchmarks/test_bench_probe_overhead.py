@@ -138,7 +138,13 @@ def test_disabled_instrumentation_overhead(emit):
 
     with obs.instrument():
         enabled_ratios, _, enabled_s = _paired_ratios(batch_probe, chunks)
+        # Inside an open span the probe additionally accumulates its
+        # timing bucket on the innermost frame — the cost an actual
+        # instrumented sweep pays (informational, not gated).
+        with obs.span("bench.overhead"):
+            in_span_ratios, _, in_span_s = _paired_ratios(batch_probe, chunks)
     enabled_ratio = statistics.median(enabled_ratios)
+    in_span_ratio = statistics.median(in_span_ratios)
 
     baseline_note = None
     if BASELINE_PATH.exists():
@@ -163,8 +169,10 @@ def test_disabled_instrumentation_overhead(emit):
         "raw_seconds": raw_s,
         "guarded_disabled_seconds": guarded_s,
         "guarded_enabled_seconds": enabled_s,
+        "guarded_enabled_in_span_seconds": in_span_s,
         "disabled_overhead_ratio": disabled_ratio,
         "enabled_overhead_ratio": enabled_ratio,
+        "enabled_in_span_overhead_ratio": in_span_ratio,
         "gate": MAX_DISABLED_OVERHEAD,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -180,6 +188,8 @@ def test_disabled_instrumentation_overhead(emit):
         f"{disabled_ratio:>7.3f}x",
         f"  {'guarded, enabled':<22} {enabled_s:>10.4f} "
         f"{enabled_ratio:>7.3f}x",
+        f"  {'enabled, in span':<22} {in_span_s:>10.4f} "
+        f"{in_span_ratio:>7.3f}x",
         "",
         f"  gate: disabled overhead <= {MAX_DISABLED_OVERHEAD:.2f}x (median)",
     ]

@@ -1,0 +1,275 @@
+"""Quick probe-throughput regression check against committed baselines.
+
+``repro-mc bench compare`` re-runs a scaled-down version of the
+``benchmarks/`` probe microbenchmarks — Theorem-1 probe throughput
+(batch vs scalar) and the disabled-instrumentation overhead on the probe
+hot path — and compares the result against the committed
+``BENCH_partition.json`` / ``BENCH_obs_overhead.json`` baselines.
+
+Raw wall-clock numbers are not comparable across machines, so the gates
+are deliberately chosen to survive a hardware change:
+
+* **speedup** — the measured batch/scalar speedup must be at least
+  ``gate_ratio`` times the committed speedup.  Both sides of the ratio
+  run on the *same* machine, so a drop means the batch path regressed
+  relative to the scalar path, not that the machine is slower.
+* **throughput** — measured batch probes/sec must be at least
+  ``gate_ratio`` times the committed figure.  This one *is*
+  machine-relative; the default ``gate_ratio`` leaves generous room for
+  slower CI hardware while still catching an order-of-magnitude
+  regression (e.g. the batch path silently falling back to scalar).
+* **disabled overhead** — the median paired guarded/raw ratio must stay
+  under ``overhead_gate``.  Machine-independent by construction; the
+  quick run uses a looser default gate than the full benchmark's 1.02
+  because fewer samples mean more timing noise.
+
+The full, slow benchmarks under ``benchmarks/`` remain the source of
+truth for the committed numbers; this module exists so CI (and a
+developer about to touch the probe layer) gets a minutes-not-hours
+regression signal.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.batch import _core_utilization_stack
+from repro.gen import WorkloadConfig, generate_taskset
+from repro.model import Partition
+from repro.partition import ordering
+from repro.partition.probe import batch_probe, use_probe_implementation
+
+__all__ = [
+    "DEFAULT_SETS",
+    "DEFAULT_GATE_RATIO",
+    "DEFAULT_OVERHEAD_GATE",
+    "replay_probe_states",
+    "run_probe_bench",
+    "compare_against_baselines",
+    "run_compare",
+]
+
+SEED = 2016
+DEFAULT_SETS = 12
+CHUNKS = 8  #: interleaved chunks for the paired A/B/A overhead measurement
+
+#: Measured value must be >= gate_ratio * committed value (throughput
+#: and speedup gates).  0.5 tolerates a 2x slower machine / noisy CI box
+#: while still catching the batch path degrading to scalar-like speed.
+DEFAULT_GATE_RATIO = 0.5
+
+#: Median guarded/raw gate for the quick disabled-overhead check.  The
+#: full benchmark gates at 1.02 over 48 paired ratios; the quick run has
+#: far fewer samples, so the gate is looser.
+DEFAULT_OVERHEAD_GATE = 1.10
+
+PARTITION_BASELINE = "BENCH_partition.json"
+OVERHEAD_BASELINE = "BENCH_obs_overhead.json"
+
+
+def replay_probe_states(
+    config: WorkloadConfig, sets: int, seed: int = SEED
+) -> list[tuple[Partition, int]]:
+    """The (partition, task_index) probe states of a greedy CA-TPA replay.
+
+    Mirrors the state construction of ``benchmarks/`` (placement replayed
+    once, every recorded state immutable) at a fraction of the set count.
+    """
+    rng = np.random.default_rng(seed)
+    states: list[tuple[Partition, int]] = []
+    for _ in range(sets):
+        taskset = generate_taskset(config, rng)
+        partition = Partition(taskset, config.cores)
+        placed: list[tuple[int, int]] = []
+        for task_index in ordering.by_contribution(taskset):
+            snapshot = Partition(taskset, config.cores)
+            for i, m in placed:
+                snapshot.assign(i, m)
+            states.append((snapshot, task_index))
+            new_utils = _core_utilization_stack(
+                partition.candidate_stack(task_index), "max"
+            )
+            finite = np.isfinite(new_utils)
+            if not finite.any():
+                break
+            target = int(np.argmin(np.where(finite, new_utils, np.inf)))
+            partition.assign(task_index, target)
+            placed.append((task_index, target))
+    return states
+
+
+def _raw(partition: Partition, task_index: int):
+    return _core_utilization_stack(partition.candidate_stack(task_index), "max")
+
+
+def _time_states(fn, states, passes: int = 3) -> float:
+    """Best-of-``passes`` wall time of ``fn`` over the probe states."""
+    best = float("inf")
+    for _ in range(passes):
+        start = time.perf_counter()
+        for partition, task_index in states:
+            fn(partition, task_index)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_probe_bench(sets: int = DEFAULT_SETS, seed: int = SEED) -> dict:
+    """Measure batch/scalar probe throughput and the disabled overhead.
+
+    Returns a dict with the same vocabulary as the committed baselines:
+    ``probes``, ``batch``/``scalar`` seconds and probes/sec, ``speedup``,
+    and the median paired ``disabled_overhead_ratio``.
+    """
+    config = WorkloadConfig()  # the Fig.-1 default point
+    states = replay_probe_states(config, sets, seed)
+    if not states:
+        raise ValueError("probe-state replay produced no states")
+
+    batch_seconds = _time_states(batch_probe, states)
+    with use_probe_implementation("scalar"):
+        scalar_seconds = _time_states(batch_probe, states)
+
+    chunks = [states[k::CHUNKS] for k in range(CHUNKS)]
+    ratios = []
+    for chunk in chunks:
+        before = _time_states(_raw, chunk)
+        timed = _time_states(batch_probe, chunk)
+        after = _time_states(_raw, chunk)
+        ratios.append(timed / ((before + after) / 2))
+
+    return {
+        "benchmark": "probe-throughput-quick",
+        "sets": sets,
+        "seed": seed,
+        "probes": len(states),
+        "batch": {
+            "seconds": batch_seconds,
+            "probes_per_sec": len(states) / batch_seconds,
+        },
+        "scalar": {
+            "seconds": scalar_seconds,
+            "probes_per_sec": len(states) / scalar_seconds,
+        },
+        "speedup": scalar_seconds / batch_seconds,
+        "disabled_overhead_ratio": statistics.median(ratios),
+        "overhead_samples": len(ratios),
+    }
+
+
+def _load_json(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def compare_against_baselines(
+    measured: dict,
+    baseline_dir: str | Path,
+    *,
+    gate_ratio: float = DEFAULT_GATE_RATIO,
+    overhead_gate: float = DEFAULT_OVERHEAD_GATE,
+) -> tuple[list[str], list[str]]:
+    """Gate the measurement against the committed baselines.
+
+    Returns ``(failures, lines)``: human-readable report lines plus a
+    list of failed-gate descriptions (empty = all gates passed).  A
+    missing baseline file is itself a failure — a silently absent
+    baseline would make the gate vacuous.
+    """
+    baseline_dir = Path(baseline_dir)
+    failures: list[str] = []
+    lines = [
+        f"bench compare: {measured['probes']} probes "
+        f"({measured['sets']} sets, seed {measured['seed']})",
+        "",
+        f"  {'metric':<26} {'measured':>12} {'committed':>12} {'gate':>16}",
+    ]
+
+    def check(metric: str, value: float, committed: float, floor: float) -> None:
+        ok = value >= floor
+        lines.append(
+            f"  {metric:<26} {value:>12.2f} {committed:>12.2f} "
+            f"{'>= ' + format(floor, '.2f'):>14} {'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failures.append(
+                f"{metric}: measured {value:.2f} < gate {floor:.2f} "
+                f"(committed {committed:.2f} x ratio {gate_ratio})"
+            )
+
+    partition = _load_json(baseline_dir / PARTITION_BASELINE)
+    if partition is None:
+        failures.append(f"missing/unreadable baseline {PARTITION_BASELINE}")
+        lines.append(f"  !! no {PARTITION_BASELINE} in {baseline_dir}")
+    else:
+        committed_pps = float(partition["probe"]["batch"]["probes_per_sec"])
+        committed_speedup = float(partition["probe"]["speedup"])
+        check(
+            "batch probes/sec",
+            measured["batch"]["probes_per_sec"],
+            committed_pps,
+            gate_ratio * committed_pps,
+        )
+        check(
+            "batch/scalar speedup",
+            measured["speedup"],
+            committed_speedup,
+            gate_ratio * committed_speedup,
+        )
+
+    overhead = _load_json(baseline_dir / OVERHEAD_BASELINE)
+    measured_overhead = measured["disabled_overhead_ratio"]
+    committed_overhead = (
+        float(overhead["disabled_overhead_ratio"]) if overhead else float("nan")
+    )
+    ok = measured_overhead <= overhead_gate
+    lines.append(
+        f"  {'disabled overhead':<26} {measured_overhead:>12.3f} "
+        f"{committed_overhead:>12.3f} "
+        f"{'<= ' + format(overhead_gate, '.2f'):>14} {'ok' if ok else 'FAIL'}"
+    )
+    if not ok:
+        failures.append(
+            f"disabled overhead: median guarded/raw {measured_overhead:.3f} "
+            f"exceeds gate {overhead_gate:.2f}"
+        )
+    if overhead is None:
+        failures.append(f"missing/unreadable baseline {OVERHEAD_BASELINE}")
+        lines.append(f"  !! no {OVERHEAD_BASELINE} in {baseline_dir}")
+
+    lines.append("")
+    if failures:
+        lines.append(f"{len(failures)} gate(s) FAILED:")
+        lines.extend(f"  - {failure}" for failure in failures)
+    else:
+        lines.append("all gates passed")
+    return failures, lines
+
+
+def run_compare(
+    *,
+    sets: int = DEFAULT_SETS,
+    seed: int = SEED,
+    baseline_dir: str | Path | None = None,
+    gate_ratio: float = DEFAULT_GATE_RATIO,
+    overhead_gate: float = DEFAULT_OVERHEAD_GATE,
+) -> tuple[int, str]:
+    """Run the quick bench and gate it; returns ``(exit_code, report)``.
+
+    ``baseline_dir`` defaults to the current working directory (where CI
+    checks out the repo root with the committed ``BENCH_*.json`` files).
+    """
+    measured = run_probe_bench(sets=sets, seed=seed)
+    failures, lines = compare_against_baselines(
+        measured,
+        Path.cwd() if baseline_dir is None else baseline_dir,
+        gate_ratio=gate_ratio,
+        overhead_gate=overhead_gate,
+    )
+    return (1 if failures else 0), "\n".join(lines)

@@ -33,6 +33,19 @@ Instrumented runs write full provenance: ``--json DIR`` drops a
 ``--metrics PATH`` dumps the merged counter/summary snapshot, and
 ``--log-json PATH`` streams structured JSONL events.  ``repro-mc
 inspect out/fig1.json`` pretty-prints the manifest of a past run.
+
+Diagnose where an instrumented run spent its time (critical path,
+self-time table, flamegraph/Perfetto exports — all reconstructed
+offline from the events file)::
+
+    repro-mc fig1 --sets 1000 --jobs 8 --log-json events.jsonl
+    repro-mc trace events.jsonl --report
+    repro-mc trace events.jsonl --chrome trace.json --folded stacks.folded
+
+Gate probe throughput/overhead against the committed ``BENCH_*.json``
+baselines (exits non-zero on regression; CI runs this)::
+
+    repro-mc bench compare
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import bench as bench_defaults
 from repro._version import __version__
 from repro.engine import Engine, ResultStore, default_store_root
 from repro.experiments.report import (
@@ -102,18 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*FIGURES.keys(), "tables", "all", "validate", "inspect"],
+        choices=[*FIGURES.keys(), "tables", "all", "validate", "inspect", "trace", "bench"],
         help=(
             "which paper artifact to regenerate, 'validate' to fuzz the "
-            "cross-layer invariant oracles, or 'inspect' to pretty-print "
-            "the run manifest of an existing artifact"
+            "cross-layer invariant oracles, 'inspect' to pretty-print "
+            "the run manifest of an existing artifact, 'trace' to analyse "
+            "the span tree of an instrumented run, or 'bench' to gate "
+            "probe throughput against the committed baselines"
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         metavar="PATH",
-        help="artifact or manifest paths (inspect only)",
+        help=(
+            "artifact or manifest paths (inspect), an events.jsonl file or "
+            "run directory (trace), or the action 'compare' (bench)"
+        ),
     )
     parser.add_argument("--version", action=_VersionAction)
     parser.add_argument(
@@ -190,6 +209,68 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: counterexamples/)"
         ),
     )
+    trace_group = parser.add_argument_group("trace options")
+    trace_group.add_argument(
+        "--report",
+        action="store_true",
+        help=(
+            "trace: print the critical-path + self-time report "
+            "(default when no export flag is given)"
+        ),
+    )
+    trace_group.add_argument(
+        "--folded",
+        metavar="PATH",
+        default=None,
+        help=(
+            "trace: write folded stacks (flamegraph.pl/speedscope input) "
+            "to PATH ('-' for stdout)"
+        ),
+    )
+    trace_group.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help=(
+            "trace: write Chrome trace-event JSON (chrome://tracing / "
+            "Perfetto) to PATH ('-' for stdout)"
+        ),
+    )
+    trace_group.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="trace: rows in the self-time table (default 15)",
+    )
+    bench_group = parser.add_argument_group("bench options")
+    bench_group.add_argument(
+        "--gate-ratio",
+        type=float,
+        default=None,
+        help=(
+            "bench compare: measured throughput/speedup must be at least "
+            "this fraction of the committed baseline (default "
+            f"{bench_defaults.DEFAULT_GATE_RATIO})"
+        ),
+    )
+    bench_group.add_argument(
+        "--overhead-gate",
+        type=float,
+        default=None,
+        help=(
+            "bench compare: max median disabled guarded/raw probe ratio "
+            f"(default {bench_defaults.DEFAULT_OVERHEAD_GATE})"
+        ),
+    )
+    bench_group.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "bench compare: directory holding the committed BENCH_*.json "
+            "baselines (default: current directory)"
+        ),
+    )
     return parser
 
 
@@ -255,6 +336,85 @@ def _inspect(paths: list[str], out) -> int:
     return 0
 
 
+def _write_export(target: str, text: str, out) -> None:
+    """Write an exporter's output to a path, or stdout when ``-``."""
+    if target == "-":
+        print(text, file=out)
+        return
+    path = Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+
+
+def _trace(args) -> int:
+    """``repro-mc trace``: analyse/export the span tree of a past run."""
+    from repro.obs import trace as trace_mod
+
+    if len(args.paths) != 1:
+        print(
+            "repro-mc trace: pass exactly one events.jsonl file or run directory",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        tree = trace_mod.load_tree(args.paths[0])
+    except ReproError as exc:
+        print(f"repro-mc trace: {exc}", file=sys.stderr)
+        return 1
+    if not tree.roots:
+        print(
+            f"repro-mc trace: no span events in {args.paths[0]} "
+            "(was the run instrumented with --log-json?)",
+            file=sys.stderr,
+        )
+        return 1
+    if tree.orphans:
+        print(
+            f"repro-mc trace: warning: {len(tree.orphans)} orphan span(s) "
+            "whose parent never closed; attached as extra roots",
+            file=sys.stderr,
+        )
+    exported = False
+    if args.folded is not None:
+        _write_export(args.folded, trace_mod.to_folded(tree), args.out)
+        exported = True
+    if args.chrome is not None:
+        chrome = json.dumps(trace_mod.to_chrome(tree), separators=(",", ":"))
+        _write_export(args.chrome, chrome, args.out)
+        exported = True
+    if args.report or not exported:
+        print(trace_mod.format_report(tree, top=args.top), file=args.out)
+    return 0
+
+
+def _bench(args) -> int:
+    """``repro-mc bench compare``: quick probe bench vs committed baselines."""
+    from repro import bench
+
+    if args.paths != ["compare"]:
+        print(
+            "repro-mc bench: the only supported action is 'compare' "
+            "(repro-mc bench compare)",
+            file=sys.stderr,
+        )
+        return 2
+    code, report = bench.run_compare(
+        sets=args.sets if args.sets != 500 else bench.DEFAULT_SETS,
+        seed=args.seed,
+        baseline_dir=args.baseline_dir,
+        gate_ratio=(
+            bench.DEFAULT_GATE_RATIO if args.gate_ratio is None else args.gate_ratio
+        ),
+        overhead_gate=(
+            bench.DEFAULT_OVERHEAD_GATE
+            if args.overhead_gate is None
+            else args.overhead_gate
+        ),
+    )
+    print(report, file=args.out)
+    return code
+
+
 def _run_validate(args, jobs, store, progress, command) -> int:
     """``repro-mc validate``: fuzz the oracle registry, shrink failures."""
     from repro.validate import run_campaign, shrink_failure, write_repro
@@ -268,9 +428,10 @@ def _run_validate(args, jobs, store, progress, command) -> int:
         if instrumented:
             with obs_runtime.instrument(sink=sink, run_id=run_id) as state:
                 obs_runtime.emit("cli.validate_start", sets=args.sets, seed=args.seed)
-                result = run_campaign(
-                    args.sets, args.seed, jobs=jobs, store=store, progress=progress
-                )
+                with obs_runtime.span("cli.validate"):
+                    result = run_campaign(
+                        args.sets, args.seed, jobs=jobs, store=store, progress=progress
+                    )
                 snapshot = state.registry.snapshot()
         else:
             result = run_campaign(
@@ -314,6 +475,10 @@ def main(argv: list[str] | None = None) -> int:
     command = list(argv) if argv is not None else sys.argv[1:]
     if args.experiment == "inspect":
         return _inspect(args.paths, args.out)
+    if args.experiment == "trace":
+        return _trace(args)
+    if args.experiment == "bench":
+        return _bench(args)
     if args.paths:
         print(
             f"repro-mc {args.experiment}: unexpected positional arguments "
@@ -355,7 +520,12 @@ def main(argv: list[str] | None = None) -> int:
                 if instrumented:
                     with obs_runtime.instrument(sink=sink, run_id=run_id) as state:
                         obs_runtime.emit("cli.figure_start", figure=name)
-                        artifact = engine.run(spec)
+                        # The run's root span: every engine/worker span of
+                        # this figure hangs off it, so `repro-mc trace`
+                        # sees one rooted tree whose duration is the
+                        # figure's wall clock.
+                        with obs_runtime.span("cli.figure", figure=name):
+                            artifact = engine.run(spec)
                         figure_metrics = state.registry.snapshot()
                         totals.merge(state.registry.dump())
                 else:

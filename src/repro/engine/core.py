@@ -88,6 +88,17 @@ class EngineRunStats:
         }
 
 
+def _generate_timed(config: WorkloadConfig, rng):
+    """Generate one task set, attributing the time to a ``gen.taskset``
+    aggregate child of the enclosing shard span (when instrumented)."""
+    if not obs.OBS.enabled:
+        return generate_taskset(config, rng)
+    t0 = time.perf_counter()
+    taskset = generate_taskset(config, rng)
+    obs.add_span_time("gen.taskset", time.perf_counter() - t0)
+    return taskset
+
+
 def _run_stats_shard(
     config: WorkloadConfig,
     schemes: tuple[SchemeSpec, ...],
@@ -100,7 +111,7 @@ def _run_stats_shard(
     accs = {label: SchemeAccumulator(label) for label, _ in partitioners}
     for i in range(start, start + count):
         rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
-        taskset = generate_taskset(config, rng)
+        taskset = _generate_timed(config, rng)
         for label, partitioner in partitioners:
             result = partitioner.partition(taskset, config.cores)
             # Accumulators are keyed by label, which may differ from the
@@ -123,7 +134,7 @@ def _run_h2h_shard(
     wins = {a: {b: 0 for b in labels if b != a} for a in labels}
     for i in range(start, start + count):
         rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
-        taskset = generate_taskset(config, rng)
+        taskset = _generate_timed(config, rng)
         outcome = {
             label: p.partition(taskset, config.cores).schedulable
             for label, p in partitioners
@@ -199,16 +210,20 @@ def _run_shard_job(
 
     When the parent engine runs instrumented, each worker evaluates its
     shard inside :func:`repro.obs.collect` (a fresh registry) and ships
-    the registry dump back with the result; the parent merges it, so
-    probe/Theorem-1/partition counters survive the process boundary.
-    Returns ``(result, metrics_dump_or_None)``.
+    the registry dump *and its completed span records* back with the
+    result; the parent merges the dump and re-roots the spans under its
+    own ``engine.shard`` span with :func:`repro.obs.adopt_spans`, so
+    probe/Theorem-1/partition counters and the trace tree both survive
+    the process boundary.  Returns
+    ``(result, metrics_dump_or_None, span_records_or_None)``.
     """
     run_shard = shard_kind(kind).run
     if not collect_metrics:
-        return run_shard(config, schemes, seed, start, count), None
+        return run_shard(config, schemes, seed, start, count), None, None
     with obs.collect() as registry:
-        result = run_shard(config, schemes, seed, start, count)
-        return result, registry.dump()
+        with obs.span("engine.shard.compute", set_start=start, set_count=count):
+            result = run_shard(config, schemes, seed, start, count)
+        return result, registry.dump(), obs.drain_spans()
 
 
 def _encode_stats(result) -> dict:
@@ -353,10 +368,11 @@ class Engine:
 
     def _checkpoint(self, point: PointSpec, start: int, count: int, result) -> None:
         if self.store is not None:
-            self.store.put(
-                shard_key(point, start, count),
-                shard_kind(point.kind).encode(result),
-            )
+            with obs.span("engine.store.put"):
+                self.store.put(
+                    shard_key(point, start, count),
+                    shard_kind(point.kind).encode(result),
+                )
 
     def _compute_missing(
         self, point: PointSpec, missing: list[tuple[int, int]], jobs: int
@@ -378,29 +394,38 @@ class Engine:
             # into the parent registry — no transfer step needed.
             for start, count in missing:
                 t0 = time.perf_counter()
-                result = run_shard(point.config, point.schemes, point.seed, start, count)
+                with obs.span("engine.shard", set_start=start, set_count=count):
+                    result = run_shard(
+                        point.config, point.schemes, point.seed, start, count
+                    )
                 finish(start, count, result, time.perf_counter() - t0)
             return results
 
         collect_metrics = obs.OBS.enabled
         with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
-            futures = [
-                pool.submit(
-                    _run_shard_job,
-                    point.kind,
-                    point.config,
-                    point.schemes,
-                    point.seed,
-                    start,
-                    count,
-                    collect_metrics,
-                )
-                for start, count in missing
-            ]
+            with obs.span("engine.shard.submit", shards=len(missing)):
+                t_submit = time.time()
+                futures = [
+                    pool.submit(
+                        _run_shard_job,
+                        point.kind,
+                        point.config,
+                        point.schemes,
+                        point.seed,
+                        start,
+                        count,
+                        collect_metrics,
+                    )
+                    for start, count in missing
+                ]
             t0 = time.perf_counter()
             for future, (start, count) in zip(futures, missing):
+                span_records = None
                 try:
-                    result, metrics_dump = future.result()
+                    with obs.span(
+                        "engine.shard.receive", set_start=start, set_count=count
+                    ):
+                        result, metrics_dump, span_records = future.result()
                 except BrokenProcessPool as pool_exc:
                     # A crashed worker poisons the whole pool and every
                     # pending future; salvage the batch by re-running
@@ -413,15 +438,37 @@ class Engine:
                         "worker_retry", start=start, count=count, error=repr(pool_exc)
                     )
                     try:
-                        result = run_shard(
-                            point.config, point.schemes, point.seed, start, count
-                        )
+                        with obs.span(
+                            "engine.shard",
+                            set_start=start,
+                            set_count=count,
+                            retried=True,
+                        ):
+                            result = run_shard(
+                                point.config, point.schemes, point.seed, start, count
+                            )
                         metrics_dump = None  # inline retry fed the registry
+                        span_records = None
                     except Exception as retry_exc:
                         raise ReproError(
                             f"worker shard [{start}, {start + count}) crashed"
                             f" ({pool_exc!r}) and the inline retry failed"
                         ) from retry_exc
+                else:
+                    # The shard's submit->receive window can't be a
+                    # ``with`` block (the windows of concurrent shards
+                    # overlap), so record it explicitly and re-root the
+                    # worker's spans under it.
+                    if obs.OBS.enabled:
+                        shard_span = obs.record_span(
+                            "engine.shard",
+                            start=t_submit,
+                            seconds=time.time() - t_submit,
+                            set_start=start,
+                            set_count=count,
+                        )
+                        if span_records:
+                            obs.adopt_spans(span_records, shard_span)
                 if metrics_dump is not None and obs.OBS.enabled:
                     obs.OBS.registry.merge(metrics_dump)
                 t1 = time.perf_counter()
@@ -438,39 +485,49 @@ class Engine:
         the merged dominance payload for ``kind="h2h"`` points, and the
         merged campaign payload for ``kind="validate"`` points.
         """
-        kind = shard_kind(point.kind)
-        jobs = self._effective_jobs(point.sets)
-        shards = plan_shards(point.sets, jobs)
-        self.stats.points += 1
-        self.stats.shards_planned += len(shards)
+        with obs.span("engine.point", kind=point.kind, sets=point.sets):
+            kind = shard_kind(point.kind)
+            jobs = self._effective_jobs(point.sets)
+            shards = plan_shards(point.sets, jobs)
+            self.stats.points += 1
+            self.stats.shards_planned += len(shards)
 
-        results: dict[int, object] = {}
-        missing: list[tuple[int, int]] = []
-        for start, count in shards:
-            cached = (
-                self.store.get(shard_key(point, start, count))
-                if self.store is not None
-                else None
-            )
-            if cached is not None:
-                results[start] = kind.decode(cached)
-                self.stats.cache_hits += 1
-                if obs.OBS.enabled:
-                    obs.counter("engine.cache_hits").inc()
-                self._emit("shard", start=start, count=count, cached=True, seconds=0.0)
-            else:
+            results: dict[int, object] = {}
+            missing: list[tuple[int, int]] = []
+            for start, count in shards:
                 if self.store is not None:
-                    self.stats.cache_misses += 1
+                    with obs.span("engine.store.get"):
+                        cached = self.store.get(shard_key(point, start, count))
+                else:
+                    cached = None
+                if cached is not None:
+                    results[start] = kind.decode(cached)
+                    self.stats.cache_hits += 1
                     if obs.OBS.enabled:
-                        obs.counter("engine.cache_misses").inc()
-                missing.append((start, count))
+                        obs.counter("engine.cache_hits").inc()
+                    self._emit(
+                        "shard", start=start, count=count, cached=True, seconds=0.0
+                    )
+                else:
+                    if self.store is not None:
+                        self.stats.cache_misses += 1
+                        if obs.OBS.enabled:
+                            obs.counter("engine.cache_misses").inc()
+                    missing.append((start, count))
 
-        results.update(self._compute_missing(point, missing, jobs) if missing else {})
-        ordered = [results[start] for start, _ in shards]
-        return kind.merge(point, ordered)
+            results.update(
+                self._compute_missing(point, missing, jobs) if missing else {}
+            )
+            with obs.span("engine.merge", kind=point.kind):
+                ordered = [results[start] for start, _ in shards]
+                return kind.merge(point, ordered)
 
     def run(self, spec: ExperimentSpec) -> SweepArtifact:
         """Evaluate a whole figure spec into a :class:`SweepArtifact`."""
+        with obs.span("engine.run", figure=spec.figure):
+            return self._run(spec)
+
+    def _run(self, spec: ExperimentSpec) -> SweepArtifact:
         rows = []
         for value, point in zip(spec.values, spec.points):
             if point.kind != "stats":

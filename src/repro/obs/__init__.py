@@ -20,7 +20,7 @@ Metric names and the event/manifest schemas are documented in
 docs/API.md ("Observability").
 """
 
-from repro.obs.events import EventSink, JsonlSink
+from repro.obs.events import ENVELOPE_KEYS, EventSink, JsonlSink
 from repro.obs.manifest import (
     MANIFEST_VERSION,
     build_manifest,
@@ -32,41 +32,74 @@ from repro.obs.manifest import (
 )
 from repro.obs.metrics import Counter, MetricsRegistry, Summary
 from repro.obs.runtime import (
+    MAX_SPAN_RECORDS,
     OBS,
+    SPAN_RESERVED_KEYS,
+    add_span_time,
+    adopt_spans,
     collect,
     counter,
+    current_span_id,
     disable,
+    drain_spans,
     emit,
     enable,
     instrument,
     new_run_id,
+    record_span,
     scheme_tag,
     span,
     summary,
 )
+from repro.obs.trace import (
+    SpanNode,
+    TraceTree,
+    build_tree,
+    critical_path,
+    format_report,
+    load_tree,
+    to_chrome,
+    to_folded,
+)
 
 __all__ = [
+    "ENVELOPE_KEYS",
+    "MAX_SPAN_RECORDS",
     "OBS",
+    "SPAN_RESERVED_KEYS",
     "Counter",
     "EventSink",
     "JsonlSink",
     "MANIFEST_VERSION",
     "MetricsRegistry",
+    "SpanNode",
     "Summary",
+    "TraceTree",
+    "add_span_time",
+    "adopt_spans",
     "build_manifest",
+    "build_tree",
     "collect",
     "counter",
+    "critical_path",
+    "current_span_id",
     "disable",
+    "drain_spans",
     "emit",
     "enable",
     "format_manifest",
+    "format_report",
     "git_describe",
     "instrument",
     "load_manifest",
+    "load_tree",
     "manifest_path_for",
     "new_run_id",
+    "record_span",
     "scheme_tag",
     "span",
     "summary",
+    "to_chrome",
+    "to_folded",
     "write_manifest",
 ]

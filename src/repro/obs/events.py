@@ -22,7 +22,12 @@ import os
 import time
 from pathlib import Path
 
-__all__ = ["EventSink", "JsonlSink"]
+__all__ = ["EventSink", "JsonlSink", "ENVELOPE_KEYS"]
+
+#: Keys owned by the event envelope.  A payload field with one of these
+#: names is written as ``payload_<name>`` instead of silently
+#: overwriting the envelope (see :func:`make_event`).
+ENVELOPE_KEYS = frozenset({"run_id", "seq", "ts", "event"})
 
 
 def _fallback_repr(value: object) -> str:
@@ -74,5 +79,14 @@ class JsonlSink(EventSink):
 
 
 def make_event(run_id: str, seq: int, name: str, payload: dict) -> dict:
-    """The canonical envelope: id/seq/ts first, then the payload fields."""
-    return {"run_id": run_id, "seq": seq, "ts": time.time(), "event": name, **payload}
+    """The canonical envelope: id/seq/ts first, then the payload fields.
+
+    Payload keys that collide with the envelope (``run_id``, ``seq``,
+    ``ts``, ``event``) are prefixed with ``payload_`` — the envelope is
+    load-bearing for offline reconstruction, so a caller must never be
+    able to clobber it.
+    """
+    event = {"run_id": run_id, "seq": seq, "ts": time.time(), "event": name}
+    for key, value in payload.items():
+        event[f"payload_{key}" if key in ENVELOPE_KEYS else key] = value
+    return event

@@ -216,7 +216,14 @@ class MetricsRegistry:
         }
 
     def merge(self, dump: dict) -> None:
-        """Fold a :meth:`dump` (e.g. from a worker process) into this registry."""
+        """Fold a :meth:`dump` (e.g. from a worker process) into this registry.
+
+        Counters and summaries are *independent namespaces*: a name that
+        arrives as a counter in one dump and as a summary in another
+        coexists as both (``snapshot()["counters"][name]`` and
+        ``snapshot()["summaries"][name]``) — merging never converts one
+        kind into the other and never raises on a kind collision.
+        """
         for name, value in dump.get("counters", {}).items():
             self.counter(name).inc(int(value))
         for name, state in dump.get("summaries", {}).items():

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.model.partition import Partition
 from repro.model.taskset import MCTaskSet
-from repro.obs.runtime import OBS, scheme_tag
+from repro.obs.runtime import OBS, scheme_tag, span
 from repro.types import PartitionError
 
 __all__ = ["Partitioner", "PartitionResult"]
@@ -109,7 +109,7 @@ class Partitioner(abc.ABC):
             raise PartitionError(
                 f"{self.name}: order_tasks must return a permutation of all tasks"
             )
-        with scheme_tag(self.name):
+        with scheme_tag(self.name), span("partition.attempt"):
             state: dict = {}
             placed = 0
             for task_index in order:

@@ -25,12 +25,16 @@ admission path accepted each core (Eq. (4) directly vs the Theorem-1
 chain, and in the latter case *which* condition ``k`` of Ineq. (5)
 passed first).  The counters carry the active scheme tag
 (``theorem1.cond_pass.k2[ca-tpa]``), so per-scheme hit rates come for
-free; disabled, the entire layer is one branch per probe (pinned < 2 %
-by ``benchmarks/test_bench_probe_overhead.py``).
+free, and each probe's kernel time is attributed to a synthetic
+``probe`` child of the innermost open span
+(:func:`repro.obs.add_span_time`) — the trace layer's scheme→probe
+level.  Disabled, the entire layer is one branch per probe (pinned
+< 2 % by ``benchmarks/test_bench_probe_overhead.py``).
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Iterable, Iterator
 
@@ -44,7 +48,7 @@ from repro.analysis.batch import (
 from repro.analysis.edfvd import available_utilizations, core_utilization
 from repro.analysis.feasibility import is_feasible_core
 from repro.model.partition import Partition
-from repro.obs.runtime import OBS
+from repro.obs.runtime import OBS, add_span_time
 from repro.types import EPS, ModelError
 
 __all__ = [
@@ -170,25 +174,33 @@ def probe_core_utilization(
     fails Theorem 1, per Eq. (15a).  ``rule`` selects the Eq. (9)
     aggregation (see :func:`repro.analysis.core_utilization`).
     """
-    new_util = core_utilization(
-        candidate_level_matrix(partition, core, task_index), rule=rule
-    )
     if OBS.enabled:
+        t0 = time.perf_counter()
+        new_util = core_utilization(
+            candidate_level_matrix(partition, core, task_index), rule=rule
+        )
+        add_span_time("probe", time.perf_counter() - t0)
         reg = OBS.registry
         reg.counter(_tagged("probe.calls.scalar")).inc()
         reg.counter("probe.cores_probed").inc()
         if not np.isfinite(new_util):
             reg.counter("probe.infeasible_cores").inc()
-    return new_util
+        return new_util
+    return core_utilization(
+        candidate_level_matrix(partition, core, task_index), rule=rule
+    )
 
 
 def probe_feasible(partition: Partition, core: int, task_index: int) -> bool:
     """Would the enlarged subset pass the Eq.(4)-or-Theorem-1 test?"""
-    mat = candidate_level_matrix(partition, core, task_index)
-    feasible = is_feasible_core(mat)
     if OBS.enabled:
+        t0 = time.perf_counter()
+        mat = candidate_level_matrix(partition, core, task_index)
+        feasible = is_feasible_core(mat)
+        add_span_time("probe", time.perf_counter() - t0)
         _record_scalar_feasibility(mat, feasible)
-    return feasible
+        return feasible
+    return is_feasible_core(candidate_level_matrix(partition, core, task_index))
 
 
 # ----------------------------------------------------------------------
@@ -222,10 +234,15 @@ def batch_probe(
         )
     if rule not in ("max", "min"):
         raise ModelError(f"unknown Eq. (9) rule {rule!r}; use 'max' or 'min'")
-    new_utils = _core_utilization_stack(partition.candidate_stack(task_index), rule)
     if OBS.enabled:
+        t0 = time.perf_counter()
+        new_utils = _core_utilization_stack(
+            partition.candidate_stack(task_index), rule
+        )
+        add_span_time("probe", time.perf_counter() - t0)
         _record_utilization_probe("batch", new_utils)
-    return new_utils
+        return new_utils
+    return _core_utilization_stack(partition.candidate_stack(task_index), rule)
 
 
 def batch_probe_feasible(partition: Partition, task_index: int) -> np.ndarray:
@@ -239,14 +256,17 @@ def batch_probe_feasible(partition: Partition, task_index: int) -> np.ndarray:
             ],
             dtype=bool,
         )
-    stack = partition.candidate_stack(task_index)
-    feasible = _is_feasible_stack(stack)
     if OBS.enabled:
+        t0 = time.perf_counter()
+        stack = partition.candidate_stack(task_index)
+        feasible = _is_feasible_stack(stack)
+        add_span_time("probe", time.perf_counter() - t0)
         reg = OBS.registry
         reg.counter(_tagged("probe.calls.batch")).inc()
         reg.counter("probe.cores_probed").inc(int(feasible.size))
         _record_feasibility_stack(stack, feasible)
-    return feasible
+        return feasible
+    return _is_feasible_stack(partition.candidate_stack(task_index))
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.analysis.virtual_deadlines import (
     assign_virtual_deadlines,
 )
 from repro.model.partition import Partition
+from repro.obs.runtime import span
 from repro.sched.core_sim import CoreReport, CoreSimulator
 from repro.sched.scenario import ExecutionScenario
 from repro.types import SimulationError
@@ -149,6 +150,16 @@ class SystemSimulator:
         self.releases = releases
 
     def run(self, seed: int | np.random.SeedSequence = 0) -> SystemReport:
+        """Simulate every non-empty core; one trace span per core.
+
+        Instrumented, the whole run is a ``sim.system`` span with one
+        ``sim.core`` child per simulated core, so a trace shows which
+        core dominated the simulation time.
+        """
+        with span("sim.system", cores=self.partition.cores):
+            return self._run(seed)
+
+    def _run(self, seed: int | np.random.SeedSequence) -> SystemReport:
         root = (
             seed
             if isinstance(seed, np.random.SeedSequence)
@@ -183,5 +194,6 @@ class SystemSimulator:
                 horizon=self.horizon,
                 releases=self.releases,
             )
-            reports.append(sim.run())
+            with span("sim.core", core=m, tasks=len(subset_indices)):
+                reports.append(sim.run())
         return SystemReport(core_reports=reports)

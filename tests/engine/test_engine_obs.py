@@ -109,6 +109,78 @@ class TestEvents:
         assert "engine.cache_misses" not in counters
 
 
+class TestTrace:
+    """Cross-process span trees: one run, one coherent rooted tree."""
+
+    def _run_traced(self, tmp_path, jobs):
+        from repro.obs import trace
+
+        log = tmp_path / "events.jsonl"
+        with obs.instrument(log_path=log):
+            with obs.span("cli.figure", figure="figX"):
+                Engine(jobs=jobs).run(_spec())
+        return trace.load_tree(log)
+
+    def test_parallel_run_yields_single_rooted_tree(self, tmp_path):
+        tree = self._run_traced(tmp_path, jobs=4)
+        assert tree.orphans == []
+        assert len(tree.roots) == 1
+        assert tree.root.name == "cli.figure"
+        names = {node.name for node in tree.walk()}
+        assert {
+            "engine.run",
+            "engine.point",
+            "engine.shard",
+            "engine.shard.compute",
+            "partition.attempt",
+            "probe",
+        } <= names
+
+    def test_worker_spans_reparented_under_their_shard_span(self, tmp_path):
+        tree = self._run_traced(tmp_path, jobs=4)
+        computes = [n for n in tree.walk() if n.name == "engine.shard.compute"]
+        assert computes  # parallel path actually ran workers
+        for node in computes:
+            parent = tree.nodes[node.parent_id]
+            assert parent.name == "engine.shard"
+            # The worker's compute time fits inside the parent's
+            # submit->receive window.
+            assert node.seconds <= parent.seconds + 0.5
+
+    def test_probe_time_attributed_under_scheme_attempts(self, tmp_path):
+        tree = self._run_traced(tmp_path, jobs=4)
+        attempts = [n for n in tree.walk() if n.name == "partition.attempt"]
+        assert attempts
+        assert all(n.scheme for n in attempts)
+        probed = [n for n in attempts if n.children]
+        assert probed  # at least some attempts recorded probe buckets
+        for attempt in probed:
+            for child in attempt.children:
+                assert child.name == "probe"
+                assert child.synthetic
+                assert child.calls >= 1
+                assert child.seconds <= attempt.seconds
+
+    def test_serial_run_tree_is_rooted_too(self, tmp_path):
+        tree = self._run_traced(tmp_path, jobs=1)
+        assert tree.orphans == []
+        assert len(tree.roots) == 1
+        names = {node.name for node in tree.walk()}
+        # Serial path: shards run inline, no worker compute spans.
+        assert "engine.shard" in names
+        assert "engine.shard.compute" not in names
+        assert "partition.attempt" in names
+
+    def test_root_span_covers_the_engine_run(self, tmp_path):
+        from repro.obs import trace
+
+        tree = self._run_traced(tmp_path, jobs=4)
+        path = trace.critical_path(tree)
+        assert path[0] is tree.root
+        engine_run = next(n for n in tree.walk() if n.name == "engine.run")
+        assert tree.root.seconds >= engine_run.seconds
+
+
 class TestHookGuard:
     def test_raising_hook_warns_once_and_run_completes(self, tmp_path):
         baseline = Engine(jobs=1).run(_spec())

@@ -1,0 +1,99 @@
+"""Unit tests for the bench-compare gate logic (no timing involved)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import bench
+
+
+def _measured(pps=10_000.0, speedup=3.0, overhead=1.01):
+    return {
+        "benchmark": "probe-throughput-quick",
+        "sets": 2,
+        "seed": 2016,
+        "probes": 100,
+        "batch": {"seconds": 0.01, "probes_per_sec": pps},
+        "scalar": {"seconds": 0.03, "probes_per_sec": pps / speedup},
+        "speedup": speedup,
+        "disabled_overhead_ratio": overhead,
+        "overhead_samples": 8,
+    }
+
+
+@pytest.fixture
+def baselines(tmp_path):
+    """Committed-baseline stand-ins: 12000 pps, 3x speedup, 1.01 overhead."""
+    (tmp_path / bench.PARTITION_BASELINE).write_text(
+        json.dumps(
+            {"probe": {"batch": {"probes_per_sec": 12_000.0}, "speedup": 3.0}}
+        )
+    )
+    (tmp_path / bench.OVERHEAD_BASELINE).write_text(
+        json.dumps({"disabled_overhead_ratio": 1.01, "gate": 1.02})
+    )
+    return tmp_path
+
+
+class TestCompare:
+    def test_all_gates_pass(self, baselines):
+        failures, lines = bench.compare_against_baselines(
+            _measured(), baselines, gate_ratio=0.5, overhead_gate=1.10
+        )
+        assert failures == []
+        assert any("all gates passed" in line for line in lines)
+
+    def test_throughput_regression_fails(self, baselines):
+        failures, _ = bench.compare_against_baselines(
+            _measured(pps=1_000.0), baselines, gate_ratio=0.5, overhead_gate=1.10
+        )
+        assert any("batch probes/sec" in f for f in failures)
+
+    def test_speedup_regression_fails(self, baselines):
+        failures, _ = bench.compare_against_baselines(
+            _measured(speedup=1.0), baselines, gate_ratio=0.5, overhead_gate=1.10
+        )
+        assert any("speedup" in f for f in failures)
+
+    def test_overhead_regression_fails(self, baselines):
+        failures, _ = bench.compare_against_baselines(
+            _measured(overhead=1.5), baselines, gate_ratio=0.5, overhead_gate=1.10
+        )
+        assert any("disabled overhead" in f for f in failures)
+
+    def test_gate_ratio_is_configurable(self, baselines):
+        # 6000 pps vs 12000 committed: fails at 0.9, passes at 0.4.
+        strict, _ = bench.compare_against_baselines(
+            _measured(pps=6_000.0), baselines, gate_ratio=0.9, overhead_gate=1.10
+        )
+        loose, _ = bench.compare_against_baselines(
+            _measured(pps=6_000.0), baselines, gate_ratio=0.4, overhead_gate=1.10
+        )
+        assert strict and not loose
+
+    def test_missing_baselines_are_failures(self, tmp_path):
+        failures, lines = bench.compare_against_baselines(
+            _measured(), tmp_path, gate_ratio=0.5, overhead_gate=1.10
+        )
+        assert any(bench.PARTITION_BASELINE in f for f in failures)
+        assert any(bench.OVERHEAD_BASELINE in f for f in failures)
+
+    def test_report_lines_mark_failures(self, baselines):
+        _, lines = bench.compare_against_baselines(
+            _measured(pps=1.0), baselines, gate_ratio=0.5, overhead_gate=1.10
+        )
+        report = "\n".join(lines)
+        assert "FAIL" in report
+        assert "gate(s) FAILED" in report
+
+
+class TestRunProbeBench:
+    def test_tiny_measurement_has_expected_shape(self):
+        measured = bench.run_probe_bench(sets=1)
+        assert measured["probes"] > 0
+        assert measured["batch"]["probes_per_sec"] > 0
+        assert measured["scalar"]["probes_per_sec"] > 0
+        assert measured["speedup"] > 0
+        assert measured["disabled_overhead_ratio"] > 0

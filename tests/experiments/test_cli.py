@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+from pathlib import Path
 
 import pytest
 
@@ -84,6 +85,46 @@ class TestParser:
         args = cli.build_parser().parse_args(["inspect", "a.json", "b.json"])
         assert args.experiment == "inspect"
         assert args.paths == ["a.json", "b.json"]
+
+    def test_trace_flags_round_trip(self):
+        args = cli.build_parser().parse_args(
+            [
+                "trace",
+                "events.jsonl",
+                "--report",
+                "--folded",
+                "out.folded",
+                "--chrome",
+                "out.json",
+                "--top",
+                "5",
+            ]
+        )
+        assert args.experiment == "trace"
+        assert args.paths == ["events.jsonl"]
+        assert args.report
+        assert args.folded == "out.folded"
+        assert args.chrome == "out.json"
+        assert args.top == 5
+
+    def test_bench_flags_round_trip(self):
+        args = cli.build_parser().parse_args(
+            [
+                "bench",
+                "compare",
+                "--gate-ratio",
+                "0.5",
+                "--overhead-gate",
+                "1.2",
+                "--baseline-dir",
+                "baselines",
+            ]
+        )
+        assert args.experiment == "bench"
+        assert args.paths == ["compare"]
+        assert args.gate_ratio == 0.5
+        assert args.overhead_gate == 1.2
+        assert args.baseline_dir == "baselines"
 
 
 class TestMain:
@@ -269,6 +310,132 @@ class TestValidate:
         # 4 campaign configs x 1 set each, 7 oracles per case.
         assert counters["validate.cases"] == 4
         assert counters["validate.checks"] == 28
+
+
+class TestTraceCommand:
+    """End-to-end: instrumented run -> events.jsonl -> repro-mc trace."""
+
+    def _traced_run(self, tiny_fig1, capsys, jobs="4"):
+        log = tiny_fig1 / "events.jsonl"
+        argv = [
+            "fig1",
+            "--sets",
+            "2",
+            "--jobs",
+            jobs,
+            "--no-store",
+            "--log-json",
+            str(log),
+        ]
+        assert cli.main(argv) == 0
+        capsys.readouterr()
+        return log
+
+    def test_report_prints_rooted_critical_path(self, tiny_fig1, capsys):
+        log = self._traced_run(tiny_fig1, capsys)
+        assert cli.main(["trace", str(log), "--report"]) == 0
+        out, err = capsys.readouterr()
+        assert "Critical path" in out
+        assert "cli.figure" in out
+        assert "100.0%" in out
+        assert "0 orphan(s)" in out
+        assert "orphan span" not in err  # no warning emitted
+
+    def test_critical_path_total_matches_wall_clock(self, tiny_fig1, capsys):
+        from repro.obs import trace
+
+        log = self._traced_run(tiny_fig1, capsys)
+        tree = trace.load_tree(log)
+        assert tree.orphans == []
+        assert len(tree.roots) == 1
+        # The events file brackets the run: its timestamp span is the
+        # wall clock the root span must match within 5%.
+        events = trace.read_events(log)
+        wall = max(e["ts"] for e in events) - min(e["ts"] for e in events)
+        root_seconds = trace.critical_path(tree)[0].seconds
+        assert root_seconds == pytest.approx(wall, rel=0.05)
+
+    def test_default_action_is_report(self, tiny_fig1, capsys):
+        log = self._traced_run(tiny_fig1, capsys, jobs="1")
+        assert cli.main(["trace", str(log)]) == 0
+        assert "Critical path" in capsys.readouterr().out
+
+    def test_folded_export(self, tiny_fig1, capsys):
+        log = self._traced_run(tiny_fig1, capsys, jobs="1")
+        folded_path = tiny_fig1 / "out" / "stacks.folded"
+        assert cli.main(["trace", str(log), "--folded", str(folded_path)]) == 0
+        lines = folded_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert stack.startswith("cli.figure")
+            assert int(value) > 0
+
+    def test_chrome_export_is_loadable(self, tiny_fig1, capsys):
+        log = self._traced_run(tiny_fig1, capsys)
+        chrome_path = tiny_fig1 / "out" / "trace.json"
+        assert cli.main(["trace", str(log), "--chrome", str(chrome_path)]) == 0
+        doc = json.loads(chrome_path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices
+        assert all(
+            e["ts"] >= 0 and e["dur"] >= 0 and isinstance(e["tid"], int)
+            for e in slices
+        )
+        assert any(e["name"] == "cli.figure" for e in slices)
+
+    def test_trace_without_path_errors(self, capsys):
+        assert cli.main(["trace"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_trace_missing_file_errors(self, tmp_path, capsys):
+        assert cli.main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such events file" in capsys.readouterr().err
+
+    def test_trace_spanless_events_file_errors(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        log.write_text('{"event": "cli.figure_start", "run_id": "r-1"}\n')
+        assert cli.main(["trace", str(log)]) == 1
+        assert "no span events" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_compare_passes_with_loose_gates(self, capsys):
+        repo_root = Path(cli.__file__).resolve().parents[2]
+        argv = [
+            "bench",
+            "compare",
+            "--sets",
+            "1",
+            "--gate-ratio",
+            "0.000001",
+            "--overhead-gate",
+            "1000",
+            "--baseline-dir",
+            str(repo_root),
+        ]
+        assert cli.main(argv) == 0
+        assert "all gates passed" in capsys.readouterr().out
+
+    def test_compare_fails_on_impossible_gate(self, capsys):
+        repo_root = Path(cli.__file__).resolve().parents[2]
+        argv = [
+            "bench",
+            "compare",
+            "--sets",
+            "1",
+            "--gate-ratio",
+            "1000000",
+            "--baseline-dir",
+            str(repo_root),
+        ]
+        assert cli.main(argv) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_without_compare_action_errors(self, capsys):
+        assert cli.main(["bench"]) == 2
+        assert "compare" in capsys.readouterr().err
 
 
 class TestInspect:

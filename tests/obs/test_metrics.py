@@ -154,3 +154,57 @@ class TestMetricsRegistry:
         reg.counter("a").inc()
         reg.clear()
         assert reg.snapshot() == {"counters": {}, "summaries": {}}
+
+
+class TestMergeKindCollision:
+    """Counters and summaries are independent namespaces (pinned).
+
+    The same name arriving as a Counter in one worker dump and as a
+    Summary in another must coexist — merge never raises, never converts
+    one kind into the other, and never loses either side's data.
+    """
+
+    def test_same_name_as_counter_and_summary_coexists(self):
+        counter_worker = MetricsRegistry()
+        counter_worker.counter("probe.time").inc(5)
+        summary_worker = MetricsRegistry()
+        summary_worker.summary("probe.time").observe(0.5)
+
+        parent = MetricsRegistry()
+        parent.merge(counter_worker.dump())
+        parent.merge(summary_worker.dump())
+
+        snap = parent.snapshot()
+        assert snap["counters"]["probe.time"] == 5
+        assert snap["summaries"]["probe.time"]["count"] == 1
+        assert snap["summaries"]["probe.time"]["total"] == pytest.approx(0.5)
+
+    def test_collision_merge_order_is_irrelevant(self):
+        a = MetricsRegistry()
+        a.counter("x").inc(2)
+        b = MetricsRegistry()
+        b.summary("x").observe(1.0)
+
+        forward = MetricsRegistry()
+        forward.merge(a.dump())
+        forward.merge(b.dump())
+        backward = MetricsRegistry()
+        backward.merge(b.dump())
+        backward.merge(a.dump())
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_local_kind_collision_also_coexists(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.summary("x").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["x"] == 1
+        assert snap["summaries"]["x"]["count"] == 1
+
+    def test_dump_roundtrips_both_kinds_of_a_collided_name(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(3)
+        reg.summary("x").observe(1.5)
+        clone = MetricsRegistry()
+        clone.merge(reg.dump())
+        assert clone.snapshot() == reg.snapshot()

@@ -1,0 +1,297 @@
+"""Tests for repro.obs.trace: tree building, analysis, and exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.types import ReproError
+
+
+def _record(
+    span_id,
+    name,
+    parent_id=None,
+    start=0.0,
+    seconds=1.0,
+    **extra,
+):
+    return {
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start": start,
+        "seconds": seconds,
+        "error": False,
+        **extra,
+    }
+
+
+def _sample_records():
+    """root(10s) -> [shard(6s) -> probe(4s synthetic), merge(1s)]."""
+    return [
+        _record(1, "engine.run", start=0.0, seconds=10.0),
+        _record(2, "engine.shard", parent_id=1, start=0.5, seconds=6.0),
+        _record(
+            3,
+            "probe",
+            parent_id=2,
+            start=0.5,
+            seconds=4.0,
+            calls=100,
+            synthetic=True,
+            scheme="ca-tpa",
+        ),
+        _record(4, "engine.merge", parent_id=1, start=7.0, seconds=1.0),
+    ]
+
+
+class TestBuildTree:
+    def test_links_children_and_orders_by_start(self):
+        tree = trace.build_tree(_sample_records())
+        assert len(tree) == 4
+        assert len(tree.roots) == 1
+        root = tree.root
+        assert root.name == "engine.run"
+        assert [c.name for c in root.children] == ["engine.shard", "engine.merge"]
+        assert root.children[0].children[0].name == "probe"
+        assert tree.orphans == []
+
+    def test_orphans_become_extra_roots(self):
+        records = _sample_records()
+        records.append(_record(9, "lost", parent_id=777, seconds=0.5))
+        tree = trace.build_tree(records)
+        assert [n.name for n in tree.orphans] == ["lost"]
+        assert {r.name for r in tree.roots} == {"engine.run", "lost"}
+
+    def test_duplicate_span_id_rejected(self):
+        records = [_record(1, "a"), _record(1, "b")]
+        with pytest.raises(ReproError, match="duplicate span_id"):
+            trace.build_tree(records)
+
+    def test_empty_tree_root_raises(self):
+        tree = trace.build_tree([])
+        with pytest.raises(ReproError, match="no span records"):
+            tree.root
+
+    def test_self_seconds_clamped_for_concurrent_children(self):
+        # Two parallel 4s shards under a 5s point: children sum past it.
+        records = [
+            _record(1, "point", seconds=5.0),
+            _record(2, "shard", parent_id=1, seconds=4.0),
+            _record(3, "shard", parent_id=1, start=0.1, seconds=4.0),
+        ]
+        tree = trace.build_tree(records)
+        assert tree.root.self_seconds == 0.0
+        assert tree.root.child_seconds == pytest.approx(8.0)
+
+
+class TestSpanRecords:
+    def test_filters_span_events_only(self):
+        events = [
+            {"event": "cli.figure_start", "figure": "fig1"},
+            {"event": "span.work", "span_id": 1, "seconds": 1.0, "name": "work"},
+            {"event": "engine.shard", "start": 0, "count": 2},
+        ]
+        records = trace.span_records(events)
+        assert len(records) == 1
+        assert records[0]["name"] == "work"
+
+    def test_name_falls_back_to_event_suffix(self):
+        events = [{"event": "span.engine.run", "span_id": 1, "seconds": 2.0}]
+        assert trace.span_records(events)[0]["name"] == "engine.run"
+
+    def test_pre_trace_span_events_without_ids_skipped(self):
+        events = [{"event": "span.legacy", "seconds": 1.0}]
+        assert trace.span_records(events) == []
+
+
+class TestReadEvents:
+    def test_reads_jsonl_and_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\n{"event": "b"}\n{"event": "tr')
+        events = trace.read_events(path)
+        assert [e["event"] for e in events] == ["a", "b"]
+
+    def test_malformed_middle_line_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\nnot json\n{"event": "b"}\n')
+        with pytest.raises(ReproError, match="malformed"):
+            trace.read_events(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            trace.read_events(tmp_path / "nope.jsonl")
+
+    def test_resolve_accepts_run_directory(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text("{}\n")
+        assert trace.resolve_events_path(tmp_path).name == "events.jsonl"
+
+    def test_resolve_single_jsonl_fallback(self, tmp_path):
+        (tmp_path / "run.jsonl").write_text("{}\n")
+        assert trace.resolve_events_path(tmp_path).name == "run.jsonl"
+
+    def test_resolve_ambiguous_directory_raises(self, tmp_path):
+        (tmp_path / "a.jsonl").write_text("{}\n")
+        (tmp_path / "b.jsonl").write_text("{}\n")
+        with pytest.raises(ReproError, match="2 candidates"):
+            trace.resolve_events_path(tmp_path)
+
+
+class TestAnalysis:
+    def test_critical_path_descends_largest_child(self):
+        path = trace.critical_path(trace.build_tree(_sample_records()))
+        assert [n.name for n in path] == ["engine.run", "engine.shard", "probe"]
+
+    def test_aggregate_spans_totals_and_self(self):
+        rows = {r["name"]: r for r in trace.aggregate_spans(
+            trace.build_tree(_sample_records())
+        )}
+        assert rows["engine.run"]["total_seconds"] == pytest.approx(10.0)
+        # 10 total - (6 + 1) children = 3 self
+        assert rows["engine.run"]["self_seconds"] == pytest.approx(3.0)
+        assert rows["probe"]["calls"] == 100
+        assert rows["probe"]["count"] == 1
+
+    def test_aggregate_schemes_only_tagged_spans(self):
+        rows = trace.aggregate_schemes(trace.build_tree(_sample_records()))
+        assert len(rows) == 1
+        assert rows[0]["scheme"] == "ca-tpa"
+        assert rows[0]["name"] == "probe"
+        assert rows[0]["calls"] == 100
+
+    def test_error_spans_counted(self):
+        records = [_record(1, "a", seconds=1.0, error=True)]
+        rows = trace.aggregate_spans(trace.build_tree(records))
+        assert rows[0]["errors"] == 1
+
+
+class TestFolded:
+    def test_stack_paths_with_self_microseconds(self):
+        folded = trace.to_folded(trace.build_tree(_sample_records()))
+        lines = dict(
+            line.rsplit(" ", 1) for line in folded.splitlines()
+        )
+        # engine.run self = 3s, shard self = 2s, probe self = 4s.
+        assert int(lines["engine.run"]) == 3_000_000
+        assert int(lines["engine.run;engine.shard"]) == 2_000_000
+        assert int(lines["engine.run;engine.shard;probe[ca-tpa]"]) == 4_000_000
+        assert int(lines["engine.run;engine.merge"]) == 1_000_000
+
+    def test_zero_self_frames_omitted(self):
+        records = [
+            _record(1, "wrapper", seconds=1.0),
+            _record(2, "inner", parent_id=1, seconds=1.0),
+        ]
+        folded = trace.to_folded(trace.build_tree(records))
+        assert folded.splitlines() == ["wrapper;inner 1000000"]
+
+
+class TestChrome:
+    def test_structurally_valid_trace_events(self):
+        doc = trace.to_chrome(trace.build_tree(_sample_records()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        # Metadata event + one "X" event per span.
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 4
+        for e in slices:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(e)
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "process_name"
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_ts_normalized_to_earliest_start(self):
+        doc = trace.to_chrome(trace.build_tree(_sample_records()))
+        slices = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert slices["engine.run"]["ts"] == 0.0
+        assert slices["engine.merge"]["ts"] == pytest.approx(7.0e6)
+        assert slices["engine.run"]["dur"] == pytest.approx(10.0e6)
+
+    def test_nested_spans_share_a_lane(self):
+        doc = trace.to_chrome(trace.build_tree(_sample_records()))
+        slices = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert slices["engine.shard"]["tid"] == slices["engine.run"]["tid"]
+        assert slices["engine.merge"]["tid"] == slices["engine.run"]["tid"]
+
+    def test_overlapping_siblings_get_distinct_lanes(self):
+        records = [
+            _record(1, "point", seconds=5.0),
+            _record(2, "shard_a", parent_id=1, start=0.0, seconds=4.0),
+            _record(3, "shard_b", parent_id=1, start=1.0, seconds=4.0),
+        ]
+        doc = trace.to_chrome(trace.build_tree(records))
+        slices = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert slices["shard_a"]["tid"] != slices["shard_b"]["tid"]
+
+    def test_synthetic_children_laid_out_sequentially(self):
+        records = [
+            _record(1, "parent", start=100.0, seconds=5.0),
+            _record(
+                2, "p1", parent_id=1, start=100.0, seconds=2.0, synthetic=True
+            ),
+            _record(
+                3, "p2", parent_id=1, start=100.0, seconds=1.0, synthetic=True
+            ),
+        ]
+        doc = trace.to_chrome(trace.build_tree(records))
+        slices = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert slices["p1"]["ts"] == pytest.approx(0.0)
+        assert slices["p2"]["ts"] == pytest.approx(2.0e6)  # after p1
+
+    def test_args_carry_scheme_and_calls(self):
+        doc = trace.to_chrome(trace.build_tree(_sample_records()))
+        probe = next(
+            e for e in doc["traceEvents"] if e["ph"] == "X" and "probe" in e["name"]
+        )
+        assert probe["args"]["scheme"] == "ca-tpa"
+        assert probe["args"]["calls"] == 100
+
+
+class TestReport:
+    def test_report_sections_and_percentages(self):
+        report = trace.format_report(trace.build_tree(_sample_records()))
+        assert "Critical path" in report
+        assert "100.0%" in report  # the root itself
+        assert "60.0%" in report  # 6s shard of a 10s run
+        assert "Per-scheme attribution" in report
+        assert "ca-tpa" in report
+
+    def test_report_counts_error_spans(self):
+        records = [
+            _record(1, "root", seconds=2.0),
+            _record(2, "bad", parent_id=1, seconds=1.0, error=True),
+        ]
+        report = trace.format_report(trace.build_tree(records))
+        assert "1 span(s) closed on an exception" in report
+
+
+class TestEndToEnd:
+    def test_runtime_spans_roundtrip_through_events_file(self, tmp_path):
+        """span() -> events.jsonl -> load_tree reconstructs the tree."""
+        log = tmp_path / "events.jsonl"
+        with obs.instrument(log_path=log):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    obs.add_span_time("probe", 0.125, calls=10)
+        tree = trace.load_tree(log)
+        assert tree.orphans == []
+        root = tree.root
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        probe = root.children[0].children[0]
+        assert probe.name == "probe"
+        assert probe.synthetic
+        assert probe.calls == 10
+        assert probe.seconds == pytest.approx(0.125)
+
+    def test_load_tree_accepts_run_directory(self, tmp_path):
+        with obs.instrument(log_path=tmp_path / "events.jsonl"):
+            with obs.span("solo"):
+                pass
+        assert trace.load_tree(tmp_path).root.name == "solo"
