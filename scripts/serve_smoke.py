@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the ``repro-mc serve`` admission daemon.
+
+Starts a real daemon subprocess on an ephemeral port, then checks the
+ISSUE acceptance criteria from the outside:
+
+1.  **Offline parity** — ``POST /admit`` answers are bit-identical to
+    running the same partitioner offline, for several random task sets
+    and schemes.
+2.  **Throughput** — a concurrent burst of ``POST /place`` admission
+    queries sustains at least ``SERVE_SMOKE_MIN_QPS`` queries/s
+    (default 1000) *and* the queries actually coalesce
+    (``serve.batch_size`` p50 > 1 in the exported metrics).
+3.  **Graceful shutdown** — SIGINT drains the queue, the process exits
+    0, and the metrics dump + run manifest are written.
+
+Environment overrides: ``SERVE_SMOKE_MIN_QPS``, ``SERVE_SMOKE_PLACES``,
+``SERVE_SMOKE_THREADS``.
+
+Run from the repo root (package installed, or ``PYTHONPATH=src``):
+
+    python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.gen import WorkloadConfig, generate_taskset  # noqa: E402
+from repro.model.io import taskset_to_dict  # noqa: E402
+from repro.partition.registry import get_partitioner  # noqa: E402
+
+MIN_QPS = float(os.environ.get("SERVE_SMOKE_MIN_QPS", "1000"))
+PLACES = int(os.environ.get("SERVE_SMOKE_PLACES", "2000"))
+THREADS = int(os.environ.get("SERVE_SMOKE_THREADS", "16"))
+CORES = 4
+
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def start_daemon(metrics_path: Path) -> tuple[subprocess.Popen, str, int]:
+    """Launch ``repro-mc serve`` and wait for the listening banner."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--cores",
+            str(CORES),
+            "--port",
+            "0",
+            "--window-ms",
+            "2",
+            "--metrics",
+            str(metrics_path),
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            raise SystemExit(
+                f"daemon exited before listening (rc={proc.poll()})"
+            )
+        match = _LISTEN_RE.search(line)
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    raise SystemExit("daemon never announced its port")
+
+
+def request(host: str, port: int, method: str, path: str, payload=None):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def check_admit_parity(host: str, port: int) -> None:
+    """Serve answers must match the offline partitioner exactly."""
+    config = WorkloadConfig(cores=CORES, levels=2, nsu=0.7, ifc=1.0)
+    for seed in range(5):
+        taskset = generate_taskset(config, np.random.default_rng(seed))
+        for scheme in ("ca-tpa", "ffd", "wfd"):
+            status, body = request(
+                host,
+                port,
+                "POST",
+                "/admit",
+                {
+                    "taskset": taskset_to_dict(taskset),
+                    "cores": CORES,
+                    "scheme": scheme,
+                },
+            )
+            assert status == 200, f"admit {scheme} seed={seed}: HTTP {status}"
+            offline = get_partitioner(scheme).partition(taskset, CORES)
+            expect = {
+                "schedulable": offline.schedulable,
+                "assignment": offline.partition.assignment.tolist(),
+                "order": list(offline.order),
+                "failed_task": offline.failed_task,
+                "utilizations": offline.partition.core_utilizations().tolist(),
+            }
+            got = {key: body[key] for key in expect}
+            assert got == expect, (
+                f"serve/offline divergence ({scheme}, seed={seed}):\n"
+                f"  serve:   {got}\n  offline: {expect}"
+            )
+    print("parity: 5 task sets x 3 schemes match offline exactly")
+
+
+def run_place_burst(host: str, port: int) -> dict:
+    """Concurrent /place burst; returns counts + throughput."""
+    per_thread = PLACES // THREADS
+    total = per_thread * THREADS
+    statuses: list[list[int]] = [[] for _ in range(THREADS)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(THREADS + 1)
+
+    def worker(tid: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            barrier.wait()
+            for i in range(per_thread):
+                # Tiny utilization so almost everything is admissible.
+                payload = json.dumps(
+                    {
+                        "task": {
+                            "period": 4000.0,
+                            "wcets": [0.5, 1.0],
+                            "name": f"w{tid}-{i}",
+                        }
+                    }
+                )
+                conn.request("POST", "/place", body=payload)
+                resp = conn.getresponse()
+                resp.read()
+                statuses[tid].append(resp.status)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.monotonic()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - start
+    if errors:
+        raise errors[0]
+
+    flat = [status for per in statuses for status in per]
+    accepted = flat.count(200)
+    rejected = flat.count(409)
+    assert accepted + rejected == total, f"unexpected statuses: {set(flat)}"
+    qps = total / elapsed
+    print(
+        f"throughput: {total} /place queries in {elapsed:.2f}s "
+        f"({qps:.0f} qps; {accepted} accepted, {rejected} rejected)"
+    )
+    assert qps >= MIN_QPS, f"{qps:.0f} qps < floor {MIN_QPS:.0f}"
+
+    status, state = request(host, port, "GET", "/state")
+    assert status == 200
+    assert state["tasks"] == accepted, (
+        f"/state tasks={state['tasks']} != accepted={accepted}"
+    )
+    assert len(set(state["assignment"])) > 1, "burst never left core 0"
+    return {"accepted": accepted, "rejected": rejected, "qps": qps}
+
+
+def check_shutdown(proc: subprocess.Popen, metrics_path: Path, burst: dict):
+    proc.send_signal(signal.SIGINT)
+    try:
+        _, stderr = proc.communicate(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise SystemExit("daemon did not drain within 30s of SIGINT")
+    assert proc.returncode == 0, f"daemon exited {proc.returncode}"
+    assert "drained and stopped" in stderr, stderr
+
+    dump = json.loads(metrics_path.read_text())
+    counters = dump["metrics"]["counters"]
+    batch = dump["metrics"]["summaries"]["serve.batch_size"]
+    assert counters["serve.place.accepted"] == burst["accepted"]
+    assert batch["p50"] > 1, (
+        f"serve.batch_size p50={batch['p50']} — the burst never coalesced"
+    )
+
+    manifest_path = metrics_path.with_name("serve.metrics.manifest.json")
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["run_id"] == dump["run_id"]
+    assert manifest["figure"] == "serve"
+    print(
+        f"shutdown: rc=0, metrics + manifest exported "
+        f"(batch p50={batch['p50']:.1f}, max={batch['max']:.0f})"
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        metrics_path = Path(tmp) / "serve.metrics.json"
+        proc, host, port = start_daemon(metrics_path)
+        try:
+            status, body = request(host, port, "GET", "/healthz")
+            assert status == 200 and body["ok"]
+            check_admit_parity(host, port)
+            burst = run_place_burst(host, port)
+            check_shutdown(proc, metrics_path, burst)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.types import EPS, INFEASIBLE, ModelError
+from repro.types import EPS, INFEASIBLE, ModelError, fits_unit_capacity
 
 __all__ = [
     "batch_lambda_factors",
@@ -244,7 +244,7 @@ def batch_is_feasible_core(level_matrices: np.ndarray) -> np.ndarray:
 
 def _is_feasible_stack(mats: np.ndarray) -> np.ndarray:
     """Unchecked core of :func:`batch_is_feasible_core`."""
-    feasible = np.trace(mats, axis1=1, axis2=2) <= 1.0 + EPS
+    feasible = fits_unit_capacity(np.trace(mats, axis1=1, axis2=2))
     if not feasible.all():
         hard = np.flatnonzero(~feasible)
         avail = _available_utilizations(mats[hard])

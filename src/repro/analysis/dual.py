@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.types import EPS, ModelError
+from repro.types import EPS, ModelError, fits_unit_capacity
 
 __all__ = [
     "DualUtilizations",
@@ -62,7 +62,7 @@ def is_feasible_dual(u: DualUtilizations) -> bool:
         min_term = u.hi_hi
     else:
         min_term = min(u.hi_hi, u.hi_lo / (1.0 - u.hi_hi))
-    return u.lo_lo + min_term <= 1.0 + EPS
+    return bool(fits_unit_capacity(u.lo_lo + min_term))
 
 
 def deadline_scale_factor(u: DualUtilizations) -> float | None:
@@ -103,12 +103,12 @@ def is_feasible_classic(u: DualUtilizations) -> bool:
     instances; the partitioners use the Theorem-1/Eq.-(7) family for
     faithfulness to the paper.
     """
-    if u.lo_lo + u.hi_hi <= 1.0 + EPS:  # plain EDF on worst-case budgets
+    if fits_unit_capacity(u.lo_lo + u.hi_hi):  # plain EDF on worst-case budgets
         return True
     x = deadline_scale_factor(u)
     if x is None:
         return False
-    return x * u.lo_lo + u.hi_hi <= 1.0 + EPS
+    return bool(fits_unit_capacity(x * u.lo_lo + u.hi_hi))
 
 
 def minimum_speed(u: DualUtilizations, test=None) -> float:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.model.taskset import MCTaskSet
-from repro.types import EPS, ModelError
+from repro.types import EPS, ModelError, fits_unit_capacity
 
 __all__ = ["gfb_edf_schedulable", "global_edfvd_admission", "GlobalAdmission"]
 
@@ -45,7 +45,7 @@ def gfb_edf_schedulable(densities, processors: int) -> bool:
     if (dens < 0).any():
         raise ModelError("densities must be non-negative")
     d_max = float(dens.max())
-    if d_max > 1.0 + EPS:
+    if not fits_unit_capacity(d_max):
         return False
     return float(dens.sum()) <= processors - (processors - 1) * d_max + EPS
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.types import EPS, ModelError
+from repro.types import ModelError, fits_unit_capacity
 
 __all__ = ["worst_case_load", "is_feasible_simple", "is_feasible_plain_edf"]
 
@@ -32,7 +32,7 @@ def worst_case_load(level_matrix: np.ndarray) -> float:
 
 def is_feasible_simple(level_matrix: np.ndarray) -> bool:
     """Eq. (4): sufficient utilization test for EDF-VD on one core."""
-    return worst_case_load(level_matrix) <= 1.0 + EPS
+    return bool(fits_unit_capacity(worst_case_load(level_matrix)))
 
 
 def is_feasible_plain_edf(utilizations: np.ndarray | list[float]) -> bool:
@@ -41,4 +41,4 @@ def is_feasible_plain_edf(utilizations: np.ndarray | list[float]) -> bool:
     Used for the non-MC (``K = 1``) degenerate case and in tests.
     """
     total = float(np.sum(np.asarray(utilizations, dtype=np.float64)))
-    return total <= 1.0 + EPS
+    return bool(fits_unit_capacity(total))

@@ -42,7 +42,7 @@ from repro.analysis.edfvd import (
     lambda_factors,
 )
 from repro.model.taskset import MCTaskSet
-from repro.types import EPS, ModelError
+from repro.types import EPS, ModelError, fits_unit_capacity
 
 __all__ = ["VirtualDeadlineAssignment", "assign_virtual_deadlines"]
 
@@ -127,7 +127,7 @@ def assign_virtual_deadlines(subset: MCTaskSet) -> VirtualDeadlineAssignment | N
     k_levels = subset.levels
     if k_levels == 1:
         # Plain EDF; feasible iff total utilization <= 1.
-        if float(mat[0, 0]) > 1.0 + EPS:
+        if not fits_unit_capacity(float(mat[0, 0])):
             return None
         return VirtualDeadlineAssignment(
             k_star=1, lambdas=(0.0,), top_level_scale=1.0, levels=1

@@ -92,6 +92,40 @@ def version_string() -> str:
     return f"{base} ({described})" if described else base
 
 
+class _LazyOutput:
+    """``--out`` target that opens (and truncates) only on first write.
+
+    ``argparse.FileType("w")`` used to create/truncate the target at
+    *parse* time, so a run that failed validation had already clobbered
+    an existing report — and the handle was never explicitly closed.
+    This wrapper is stdout when no path was given, otherwise a file that
+    comes into existence with the first report byte and is closed by
+    :func:`main`'s ``finally``.
+    """
+
+    def __init__(self, path: str | None):
+        self.path = path
+        self._file = None
+
+    def write(self, text: str) -> int:
+        if self.path is None:
+            return sys.stdout.write(text)
+        if self._file is None:
+            self._file = open(self.path, "w")
+        return self._file.write(text)
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+        elif self.path is None:
+            sys.stdout.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
 class _VersionAction(argparse.Action):
     """Like ``action="version"`` but resolves git describe lazily, so
     building the parser never shells out."""
@@ -116,13 +150,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*FIGURES.keys(), "tables", "all", "validate", "inspect", "trace", "bench"],
+        choices=[
+            *FIGURES.keys(),
+            "tables",
+            "all",
+            "validate",
+            "inspect",
+            "trace",
+            "bench",
+            "serve",
+        ],
         help=(
             "which paper artifact to regenerate, 'validate' to fuzz the "
             "cross-layer invariant oracles, 'inspect' to pretty-print "
             "the run manifest of an existing artifact, 'trace' to analyse "
-            "the span tree of an instrumented run, or 'bench' to gate "
-            "probe throughput against the committed baselines"
+            "the span tree of an instrumented run, 'bench' to gate "
+            "probe throughput against the committed baselines, or 'serve' "
+            "to run the online admission-control daemon"
         ),
     )
     parser.add_argument(
@@ -150,9 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out",
-        type=argparse.FileType("w"),
-        default=sys.stdout,
-        help="write the report to a file instead of stdout",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the report to PATH instead of stdout; the file is "
+            "opened only when the first report line is ready, so a "
+            "failing command never clobbers an existing report"
+        ),
     )
     parser.add_argument(
         "--csv",
@@ -241,6 +289,55 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=15,
         help="trace: rows in the self-time table (default 15)",
+    )
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument(
+        "--cores",
+        type=int,
+        default=4,
+        help="serve: cores of the live system the daemon manages (default 4)",
+    )
+    serve_group.add_argument(
+        "--levels",
+        type=int,
+        default=2,
+        help="serve: criticality levels K of the live system (default 2)",
+    )
+    serve_group.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    serve_group.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="serve: TCP port; 0 picks an ephemeral port (default 8787)",
+    )
+    serve_group.add_argument(
+        "--window-ms",
+        type=float,
+        default=1.0,
+        help=(
+            "serve: micro-batch coalescing window in milliseconds; "
+            "concurrent requests arriving within it share one probe "
+            "kernel call (default 1.0)"
+        ),
+    )
+    serve_group.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="serve: max requests per flush (default 64)",
+    )
+    serve_group.add_argument(
+        "--backlog",
+        type=int,
+        default=256,
+        help=(
+            "serve: bounded request queue size; a full queue answers 503 "
+            "(default 256)"
+        ),
     )
     bench_group = parser.add_argument_group("bench options")
     bench_group.add_argument(
@@ -473,12 +570,44 @@ def _run_validate(args, jobs, store, progress, command) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command = list(argv) if argv is not None else sys.argv[1:]
+    # The report target opens lazily on first write and is always closed
+    # here, whatever exit path the subcommand takes.
+    args.out = _LazyOutput(args.out)
+    try:
+        return _dispatch(args, command)
+    finally:
+        args.out.close()
+
+
+def _serve(args, command: list[str]) -> int:
+    """``repro-mc serve``: run the online admission-control daemon."""
+    from repro.serve import ServeConfig
+    from repro.serve.daemon import run_forever
+
+    config = ServeConfig(
+        cores=args.cores,
+        levels=args.levels,
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        backlog=args.backlog,
+        metrics_path=args.metrics,
+        log_json=args.log_json,
+        command=command,
+    )
+    return run_forever(config)
+
+
+def _dispatch(args, command: list[str]) -> int:
     if args.experiment == "inspect":
         return _inspect(args.paths, args.out)
     if args.experiment == "trace":
         return _trace(args)
     if args.experiment == "bench":
         return _bench(args)
+    if args.experiment == "serve":
+        return _serve(args, command)
     if args.paths:
         print(
             f"repro-mc {args.experiment}: unexpected positional arguments "

@@ -20,25 +20,47 @@ Layout::
     <root>/objects/<key[:2]>/<key>.json
 
 Writes go through a same-directory temp file + ``os.replace`` so a
-killed run never leaves a torn checkpoint; unreadable entries are
-treated as misses and deleted.
+killed run never leaves a torn checkpoint.  Temp names are
+pid/thread/sequence-unique, so concurrent writers — including two
+threads of one process, e.g. the admission daemon next to an in-process
+sweep — never collide; temp debris older than
+:data:`STALE_TEMP_SECONDS` is purged when a store is opened.
+Unreadable entries are treated as misses and deleted.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
+import time
 from pathlib import Path
 
 from repro._version import __version__
 from repro.engine.artifact import SCHEMA_VERSION
 from repro.engine.spec import PointSpec
 
-__all__ = ["ResultStore", "shard_key", "default_store_root"]
+__all__ = [
+    "ResultStore",
+    "shard_key",
+    "default_store_root",
+    "STALE_TEMP_SECONDS",
+]
 
 #: Environment variable naming the default store location for the CLI.
 STORE_ENV = "REPRO_MC_STORE"
+
+#: Temp files older than this (seconds) are debris from a crashed run
+#: and are purged when a store is opened; younger ones may belong to a
+#: concurrent writer mid-``put`` and are left alone.
+STALE_TEMP_SECONDS = 3600.0
+
+#: Process-wide sequence folded into temp names so two threads of one
+#: process (the admission daemon next to an in-process sweep) can never
+#: collide on a temp path, whatever their pids/idents do.
+_TEMP_SEQ = itertools.count()
 
 
 def default_store_root() -> Path:
@@ -82,9 +104,39 @@ class ResultStore:
         self.root = Path(root)
         self.hits = 0  #: lifetime get() hits (per-run counts live on Engine)
         self.misses = 0
+        self.temps_purged = self._purge_stale_temps()
 
     def _path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def _temp_path(self, key: str) -> Path:
+        """A collision-free temp sibling of the object path.
+
+        The suffix folds in pid, thread ident and a process-wide
+        sequence number: a pid alone is not unique within a process, so
+        two threads writing the same key used to race on one temp file
+        (one ``os.replace`` would find its temp already consumed).
+        """
+        path = self._path(key)
+        token = f"{os.getpid()}.{threading.get_ident()}.{next(_TEMP_SEQ)}"
+        return path.with_name(f"{path.name}.tmp.{token}")
+
+    def _purge_stale_temps(self) -> int:
+        """Delete temp files left behind by crashed runs; returns count.
+
+        Only temps older than :data:`STALE_TEMP_SECONDS` go — a younger
+        one may be a concurrent writer's in-flight ``put``.
+        """
+        cutoff = time.time() - STALE_TEMP_SECONDS
+        purged = 0
+        for tmp in self.root.glob("objects/*/*.tmp.*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink(missing_ok=True)
+                    purged += 1
+            except OSError:
+                continue  # vanished or unreadable: someone else's problem
+        return purged
 
     def get(self, key: str) -> dict | None:
         """The stored payload, or ``None`` (corrupt entries are purged)."""
@@ -105,9 +157,13 @@ class ResultStore:
         """Atomically persist one shard payload (strict JSON)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(_canonical(payload))
-        os.replace(tmp, path)
+        tmp = self._temp_path(key)
+        try:
+            tmp.write_text(_canonical(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def __len__(self) -> int:
         if not self.root.exists():

@@ -46,6 +46,7 @@ class Partition:
         "_level_mats",
         "_counts",
         "_util_cache",
+        "_frozen",
     )
 
     def __init__(self, taskset: MCTaskSet, cores: int):
@@ -62,6 +63,7 @@ class Partition:
         self._counts = np.zeros(self._cores, dtype=np.int64)
         # Per-rule caches of the Eq.-(9) core utilizations; nan = stale.
         self._util_cache: dict[str, np.ndarray] = {}
+        self._frozen = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -73,6 +75,11 @@ class Partition:
     @property
     def cores(self) -> int:
         return self._cores
+
+    @property
+    def is_frozen(self) -> bool:
+        """True for immutable :meth:`snapshot` copies."""
+        return self._frozen
 
     @property
     def is_complete(self) -> bool:
@@ -133,6 +140,29 @@ class Partition:
         mats[:, crit - 1, :crit] += taskset.utilization_matrix[task_index, :crit]
         return mats
 
+    def candidate_stacks(self, task_indices: Sequence[int]) -> np.ndarray:
+        """Writable ``(T, M, K, K)`` stacks: each task added to every core.
+
+        Entry ``[t, m]`` is the hypothetical level matrix
+        ``U^{Psi_m + tau_{i_t}}`` — the multi-task generalization of
+        :meth:`candidate_stack`, built with a single fancy-indexed add so
+        the admission daemon can probe a whole micro-batch in one kernel
+        call.  Correct because ``utilization_matrix`` rows are zero above
+        each task's criticality, so adding the *full* row into row
+        ``l_i - 1`` touches exactly the ``:crit`` prefix.
+        """
+        idx = np.asarray(task_indices, dtype=np.int64)
+        if idx.ndim != 1:
+            raise PartitionError("task_indices must be a 1-D sequence")
+        taskset = self._taskset
+        shape = (idx.size,) + self._level_mats.shape
+        stacks = np.broadcast_to(self._level_mats, shape).copy()
+        rows = taskset.criticalities[idx] - 1
+        stacks[np.arange(idx.size), :, rows, :] += (
+            taskset.utilization_matrix[idx][:, None, :]
+        )
+        return stacks
+
     def core_utilizations(self, rule: str = "max") -> np.ndarray:
         """Per-core Eq.-(9) utilizations ``U^{Psi_m}``: a ``(M,)`` copy.
 
@@ -169,6 +199,7 @@ class Partition:
     # ------------------------------------------------------------------
     def assign(self, task_index: int, core: int) -> None:
         """Assign ``task_index`` to ``core`` (exactly once per task)."""
+        self._check_mutable()
         self._check_core(core)
         if not 0 <= task_index < len(self._taskset):
             raise PartitionError(f"task index {task_index} out of range")
@@ -191,8 +222,99 @@ class Partition:
         for cache in self._util_cache.values():
             cache[core] = np.nan
 
+    def unassign(self, task_index: int) -> int:
+        """Remove ``task_index`` from its core; returns that core.
+
+        The core's level matrix is *recomputed* from its remaining tasks
+        rather than decremented, so repeated assign/unassign cycles (the
+        admission daemon rolling back a rejected placement) never
+        accumulate floating-point drift.
+        """
+        self._check_mutable()
+        if not 0 <= task_index < len(self._taskset):
+            raise PartitionError(f"task index {task_index} out of range")
+        core = int(self._assignment[task_index])
+        if core < 0:
+            raise PartitionError(f"task {task_index} is not assigned")
+        self._assignment[task_index] = -1
+        self._counts[core] -= 1
+        remaining = np.flatnonzero(self._assignment == core)
+        taskset = self._taskset
+        fresh = np.zeros_like(self._level_mats[core])
+        if remaining.size:
+            # One np.add.at accumulates every remaining task's full
+            # utilization row into its criticality row (rows are zero
+            # above l_i, so the full-row add is exact).
+            np.add.at(
+                fresh,
+                taskset.criticalities[remaining] - 1,
+                taskset.utilization_matrix[remaining],
+            )
+        self._level_mats.setflags(write=True)
+        try:
+            self._level_mats[core] = fresh
+        finally:
+            self._level_mats.setflags(write=False)
+        for cache in self._util_cache.values():
+            cache[core] = np.nan
+        return core
+
     # ------------------------------------------------------------------
     # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Partition":
+        """A frozen, independent copy for lock-free concurrent readers.
+
+        The copy shares the (immutable) task set but owns its arrays;
+        :meth:`assign`/:meth:`unassign` on it raise, so the admission
+        daemon can hand snapshots to reader tasks while the coordinator
+        keeps mutating the live partition.
+        """
+        snap = Partition.__new__(Partition)
+        snap._taskset = self._taskset
+        snap._cores = self._cores
+        snap._assignment = self._assignment.copy()
+        snap._assignment.setflags(write=False)
+        snap._level_mats = self._level_mats.copy()
+        snap._level_mats.setflags(write=False)
+        snap._counts = self._counts.copy()
+        snap._counts.setflags(write=False)
+        # Utilization caches stay writable: lazy cache fill is not a
+        # logical mutation of the partition.
+        snap._util_cache = {r: c.copy() for r, c in self._util_cache.items()}
+        snap._frozen = True
+        return snap
+
+    def extended(self, taskset: MCTaskSet) -> "Partition":
+        """A new mutable partition over a *grown* task set, warm-started.
+
+        ``taskset`` must contain this partition's tasks as a prefix (same
+        ``K``); the appended tasks start unassigned.  The per-core level
+        matrices and counts carry over verbatim — no O(N) reassignment
+        loop — which is how the admission daemon admits new tasks into a
+        live system without replaying history.
+        """
+        old = self._taskset
+        n = len(old)
+        if taskset.levels != old.levels:
+            raise PartitionError(
+                f"extended task set must keep K={old.levels}, "
+                f"got K={taskset.levels}"
+            )
+        if len(taskset) < n or list(taskset)[:n] != list(old):
+            raise PartitionError(
+                "extended task set must contain the current tasks as a prefix"
+            )
+        part = Partition(taskset, self._cores)
+        part._assignment[:n] = self._assignment
+        part._level_mats.setflags(write=True)
+        try:
+            part._level_mats[:] = self._level_mats
+        finally:
+            part._level_mats.setflags(write=False)
+        part._counts[:] = self._counts
+        return part
+
     # ------------------------------------------------------------------
     def core_subsets(self) -> list[list[int]]:
         """Per-core lists of assigned task indices (``Gamma`` as index lists)."""
@@ -218,6 +340,10 @@ class Partition:
         return part
 
     # ------------------------------------------------------------------
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise PartitionError("partition snapshot is immutable")
+
     def _check_core(self, core: int) -> None:
         if not 0 <= core < self._cores:
             raise PartitionError(

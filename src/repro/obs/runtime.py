@@ -37,6 +37,7 @@ from __future__ import annotations
 import secrets
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 from repro.obs.events import EventSink, JsonlSink, make_event
@@ -91,6 +92,15 @@ class _SpanFrame:
         self.buckets: dict[str, list] = {}
 
 
+#: The active partitioning-scheme tag ("" = none).  A
+#: :class:`~contextvars.ContextVar` rather than a plain attribute of the
+#: singleton: two threads (or asyncio tasks) running partitioning
+#: attempts concurrently — e.g. the admission daemon's coordinator next
+#: to an in-process sweep — must not stamp each other's counters and
+#: span records with the wrong scheme.
+_SCHEME: ContextVar[str] = ContextVar("repro_obs_scheme", default="")
+
+
 class _ObsState:
     """Mutable singleton; read ``OBS.enabled`` on hot paths."""
 
@@ -99,7 +109,6 @@ class _ObsState:
         "registry",
         "sink",
         "run_id",
-        "scheme",
         "seq",
         "span_stack",
         "spans",
@@ -111,11 +120,19 @@ class _ObsState:
         self.registry = MetricsRegistry()
         self.sink: EventSink | None = None
         self.run_id = ""
-        self.scheme = ""  #: current partitioning-scheme tag ("" = none)
         self.seq = 0
         self.span_stack: list[_SpanFrame] = []
         self.spans: list[dict] = []  #: completed span records
         self.next_span_id = 1
+
+    @property
+    def scheme(self) -> str:
+        """Current partitioning-scheme tag of *this* context ("" = none)."""
+        return _SCHEME.get()
+
+    @scheme.setter
+    def scheme(self, value: str) -> None:
+        _SCHEME.set(value)
 
     def _snapshot_state(self) -> tuple:
         return (
@@ -414,13 +431,15 @@ def scheme_tag(name: str) -> Iterator[None]:
     attributed per scheme (``theorem1.cond_pass.k2[ca-tpa]``).  Span
     records closed inside the block carry the tag as their ``scheme``
     field, which the trace analysis uses for per-scheme attribution.
+
+    The tag lives on a :class:`~contextvars.ContextVar`, so concurrent
+    threads/async tasks each see only their own scheme.
     """
-    previous = OBS.scheme
-    OBS.scheme = name
+    token = _SCHEME.set(name)
     try:
         yield
     finally:
-        OBS.scheme = previous
+        _SCHEME.reset(token)
 
 
 @contextmanager

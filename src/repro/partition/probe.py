@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterable, Iterator
+from contextvars import ContextVar
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -49,7 +50,7 @@ from repro.analysis.edfvd import available_utilizations, core_utilization
 from repro.analysis.feasibility import is_feasible_core
 from repro.model.partition import Partition
 from repro.obs.runtime import OBS, add_span_time
-from repro.types import EPS, ModelError
+from repro.types import EPS, ModelError, fits_unit_capacity
 
 __all__ = [
     "candidate_level_matrix",
@@ -58,6 +59,8 @@ __all__ = [
     "batch_candidate_matrices",
     "batch_probe",
     "batch_probe_feasible",
+    "batch_probe_tasks",
+    "batch_probe_feasible_tasks",
     "first_feasible_core",
     "first_finite_probe",
     "probe_implementation",
@@ -65,26 +68,35 @@ __all__ = [
 ]
 
 #: Active probe implementation: "batch" (vectorized, default) or "scalar".
-_ACTIVE_IMPLEMENTATION = "batch"
+#: A :class:`~contextvars.ContextVar`, not a module global: the selection
+#: is isolated per thread and per asyncio task, so a benchmark thread
+#: running scalar probes cannot flip a concurrent server handler (or the
+#: admission daemon's coordinator) onto the wrong engine mid-decision.
+_ACTIVE_IMPLEMENTATION: ContextVar[str] = ContextVar(
+    "repro_probe_implementation", default="batch"
+)
 
 
 def probe_implementation() -> str:
     """The currently active probe implementation (``"batch"``/``"scalar"``)."""
-    return _ACTIVE_IMPLEMENTATION
+    return _ACTIVE_IMPLEMENTATION.get()
 
 
 @contextmanager
 def use_probe_implementation(impl: str) -> Iterator[None]:
-    """Temporarily select the probe implementation (benchmarks/tests)."""
-    global _ACTIVE_IMPLEMENTATION
+    """Select the probe implementation for the current context.
+
+    The selection is scoped to the current thread/async task (it rides
+    a :class:`~contextvars.ContextVar`), so concurrent contexts never
+    observe each other's choice.
+    """
     if impl not in ("batch", "scalar"):
         raise ModelError(f"unknown probe implementation {impl!r}")
-    previous = _ACTIVE_IMPLEMENTATION
-    _ACTIVE_IMPLEMENTATION = impl
+    token = _ACTIVE_IMPLEMENTATION.set(impl)
     try:
         yield
     finally:
-        _ACTIVE_IMPLEMENTATION = previous
+        _ACTIVE_IMPLEMENTATION.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -116,7 +128,7 @@ def _record_feasibility_stack(stack: np.ndarray, feasible: np.ndarray) -> None:
     counts cores that failed both.
     """
     reg = OBS.registry
-    eq4 = np.trace(stack, axis1=1, axis2=2) <= 1.0 + EPS
+    eq4 = fits_unit_capacity(np.trace(stack, axis1=1, axis2=2))
     reg.counter(_tagged("theorem1.eq4_pass")).inc(int(np.count_nonzero(eq4)))
     reg.counter(_tagged("theorem1.rejected")).inc(
         int(np.count_nonzero(~feasible))
@@ -138,7 +150,7 @@ def _record_scalar_feasibility(mat: np.ndarray, feasible: bool) -> None:
     reg = OBS.registry
     reg.counter(_tagged("probe.calls.scalar")).inc()
     reg.counter("probe.cores_probed").inc()
-    eq4 = float(np.trace(mat)) <= 1.0 + EPS
+    eq4 = bool(fits_unit_capacity(float(np.trace(mat))))
     if eq4:
         reg.counter(_tagged("theorem1.eq4_pass")).inc()
     elif feasible:
@@ -223,7 +235,7 @@ def batch_probe(
     Entry ``m`` is the hypothetical ``U^{Psi_m + tau_i}`` (``inf`` where
     the enlarged subset is Theorem-1 infeasible, per Eq. (15a)).
     """
-    if _ACTIVE_IMPLEMENTATION == "scalar":
+    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
         # Counters accrue inside the scalar primitive, one per core.
         return np.array(
             [
@@ -247,7 +259,7 @@ def batch_probe(
 
 def batch_probe_feasible(partition: Partition, task_index: int) -> np.ndarray:
     """Eq.(4)-or-Theorem-1 feasibility of the task on every core: ``(M,)``."""
-    if _ACTIVE_IMPLEMENTATION == "scalar":
+    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
         # Counters accrue inside the scalar primitive, one per core.
         return np.array(
             [
@@ -270,6 +282,77 @@ def batch_probe_feasible(partition: Partition, task_index: int) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
+# Micro-batch path (several tasks x all cores, one kernel call)
+# ----------------------------------------------------------------------
+def batch_probe_tasks(
+    partition: Partition, task_indices: Sequence[int], rule: str = "max"
+) -> np.ndarray:
+    """Eq.-(15) probes of several tasks against every core: ``(T, M)``.
+
+    Row ``t`` is exactly :func:`batch_probe` of ``task_indices[t]`` (the
+    ``(T*M, K, K)`` stack goes through the same kernel, so results are
+    bit-identical) — but the whole micro-batch costs one NumPy pass.
+    This is the admission daemon's flush primitive.
+    """
+    idx = np.asarray(task_indices, dtype=np.int64)
+    cores = partition.cores
+    if idx.size == 0:
+        return np.empty((0, cores), dtype=np.float64)
+    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
+        return np.stack([batch_probe(partition, int(i), rule=rule) for i in idx])
+    if rule not in ("max", "min"):
+        raise ModelError(f"unknown Eq. (9) rule {rule!r}; use 'max' or 'min'")
+    if OBS.enabled:
+        t0 = time.perf_counter()
+        stacks = partition.candidate_stacks(idx)
+        flat = _core_utilization_stack(stacks.reshape((-1,) + stacks.shape[2:]), rule)
+        new_utils = flat.reshape(idx.size, cores)
+        add_span_time("probe", time.perf_counter() - t0)
+        reg = OBS.registry
+        reg.counter(_tagged("probe.calls.batch")).inc(int(idx.size))
+        reg.counter("probe.cores_probed").inc(int(new_utils.size))
+        reg.counter("probe.infeasible_cores").inc(
+            int(np.count_nonzero(~np.isfinite(new_utils)))
+        )
+        return new_utils
+    stacks = partition.candidate_stacks(idx)
+    flat = _core_utilization_stack(stacks.reshape((-1,) + stacks.shape[2:]), rule)
+    return flat.reshape(idx.size, cores)
+
+
+def batch_probe_feasible_tasks(
+    partition: Partition, task_indices: Sequence[int]
+) -> np.ndarray:
+    """Feasibility of several tasks on every core: boolean ``(T, M)``.
+
+    Row ``t`` equals :func:`batch_probe_feasible` of ``task_indices[t]``
+    bit-for-bit; the batch path evaluates the whole micro-batch with one
+    stacked kernel call.
+    """
+    idx = np.asarray(task_indices, dtype=np.int64)
+    cores = partition.cores
+    if idx.size == 0:
+        return np.empty((0, cores), dtype=bool)
+    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
+        return np.stack([batch_probe_feasible(partition, int(i)) for i in idx])
+    if OBS.enabled:
+        t0 = time.perf_counter()
+        stacks = partition.candidate_stacks(idx)
+        flat_stack = stacks.reshape((-1,) + stacks.shape[2:])
+        flat = _is_feasible_stack(flat_stack)
+        feasible = flat.reshape(idx.size, cores)
+        add_span_time("probe", time.perf_counter() - t0)
+        reg = OBS.registry
+        reg.counter(_tagged("probe.calls.batch")).inc(int(idx.size))
+        reg.counter("probe.cores_probed").inc(int(feasible.size))
+        _record_feasibility_stack(flat_stack, flat)
+        return feasible
+    stacks = partition.candidate_stacks(idx)
+    flat = _is_feasible_stack(stacks.reshape((-1,) + stacks.shape[2:]))
+    return flat.reshape(idx.size, cores)
+
+
+# ----------------------------------------------------------------------
 # Preference-order scans shared by the heuristics
 # ----------------------------------------------------------------------
 def first_feasible_core(
@@ -285,7 +368,7 @@ def first_feasible_core(
     """
     if core_order is None:
         core_order = range(partition.cores)
-    if _ACTIVE_IMPLEMENTATION == "scalar":
+    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
         for m in core_order:
             if probe_feasible(partition, int(m), task_index):
                 return int(m)
@@ -309,7 +392,7 @@ def first_finite_probe(
     fits nowhere.  Used by the min-utilization override and the ablation
     fit rules, which pick by preference order rather than by increment.
     """
-    if _ACTIVE_IMPLEMENTATION == "scalar":
+    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
         for m in core_order:
             new_util = probe_core_utilization(
                 partition, int(m), task_index, rule=rule

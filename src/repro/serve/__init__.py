@@ -1,0 +1,51 @@
+"""Online admission-control service for the partitioning machinery.
+
+``repro.serve`` wraps the offline CA-TPA partitioner and the vectorized
+probe kernel in a long-running asyncio daemon that answers placement and
+admission queries over local HTTP/JSON:
+
+* ``POST /admit`` — would this task set be schedulable on ``M`` cores
+  under a scheme?  Runs the *offline* partitioner verbatim, so answers
+  are bit-identical to ``repro-mc``'s batch results (pinned by the
+  ``serve-offline`` validation oracle).
+* ``POST /place`` — which core should this new task go to, given the
+  live system state?  Placements are micro-batched: concurrent requests
+  coalesce into a single call of the stacked probe kernel.
+* ``GET /state`` — the current partition, per-core Eq.-(9) utilizations
+  and the Eq.-(16) imbalance factor ``Lambda`` — served lock-free from
+  an immutable snapshot.
+* ``GET /metrics`` — the live instrumentation registry snapshot.
+
+All mutation flows through one coordinator task; readers never block.
+See docs/API.md ("The admission daemon") and ``repro-mc serve``.
+"""
+
+from repro.serve.batcher import MicroBatcher, ServeOverflow
+from repro.serve.coordinator import Coordinator
+from repro.serve.daemon import ServeConfig, ServeDaemon, run_forever
+from repro.serve.handlers import Api
+from repro.serve.protocol import (
+    AdmitRequest,
+    PlaceRequest,
+    ProtocolError,
+    parse_admit,
+    parse_place,
+)
+from repro.serve.state import ServeState, StateSnapshot
+
+__all__ = [
+    "Api",
+    "AdmitRequest",
+    "Coordinator",
+    "MicroBatcher",
+    "PlaceRequest",
+    "ProtocolError",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeOverflow",
+    "ServeState",
+    "StateSnapshot",
+    "parse_admit",
+    "parse_place",
+    "run_forever",
+]

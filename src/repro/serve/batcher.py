@@ -1,0 +1,105 @@
+"""Micro-batching of admission/placement requests.
+
+Handlers :meth:`~MicroBatcher.submit` work items and await their
+futures; the coordinator pulls *batches*: after the first item arrives,
+the batcher waits one coalescing window so a concurrent burst lands in
+the same flush, then drains the queue (bounded by ``max_batch``).  The
+queue is bounded — a full queue raises :class:`ServeOverflow`, which the
+transport answers with ``503`` instead of letting latency grow without
+bound (backpressure).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.types import ReproError
+
+__all__ = ["MicroBatcher", "ServeOverflow", "WorkItem"]
+
+
+class ServeOverflow(ReproError):
+    """The request queue is full; the caller should answer 503."""
+
+
+@dataclass
+class WorkItem:
+    """One pending request: ``kind`` is ``"admit"`` or ``"place"``."""
+
+    kind: str
+    request: object
+    future: asyncio.Future = field(repr=False)
+
+
+class MicroBatcher:
+    """Bounded request queue with a coalescing flush window."""
+
+    def __init__(
+        self,
+        maxsize: int = 256,
+        window: float = 0.001,
+        max_batch: int = 64,
+    ):
+        if max_batch < 1:
+            raise ReproError(f"max_batch must be >= 1, got {max_batch}")
+        self._queue: asyncio.Queue[WorkItem | None] = asyncio.Queue(maxsize=maxsize)
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (for the /metrics gauge)."""
+        return self._queue.qsize()
+
+    def submit(self, kind: str, request: object) -> asyncio.Future:
+        """Enqueue one request; the returned future resolves at flush."""
+        if self._closed:
+            raise ServeOverflow("service is shutting down")
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(WorkItem(kind, request, future))
+        except asyncio.QueueFull:
+            raise ServeOverflow(
+                f"request queue full ({self._queue.maxsize} pending)"
+            ) from None
+        return future
+
+    def close(self) -> None:
+        """Stop accepting work; wake the coordinator for final drains."""
+        if not self._closed:
+            self._closed = True
+            # The sentinel gets the coordinator out of its blocking get().
+            # put_nowait on a full queue cannot happen for the sentinel
+            # slot mattering: drain loops empty the queue first.
+            try:
+                self._queue.put_nowait(None)
+            except asyncio.QueueFull:  # pragma: no cover - drained anyway
+                pass
+
+    async def next_batch(self) -> list[WorkItem] | None:
+        """Await the next flush, or ``None`` when closed and drained.
+
+        Coalescing: block for the first item, sleep one window so a
+        concurrent burst catches up, then drain (≤ ``max_batch``).
+        """
+        if self._closed and self._queue.empty():
+            return None  # the sentinel may already be consumed
+        first = await self._queue.get()
+        if first is None:
+            return None if self._queue.empty() else self._drain([])
+        if self.window > 0 and self._queue.qsize() < self.max_batch - 1:
+            await asyncio.sleep(self.window)
+        return self._drain([first])
+
+    def _drain(self, batch: list[WorkItem]) -> list[WorkItem]:
+        while len(batch) < self.max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is None:
+                continue  # shutdown sentinel: keep draining real work
+            batch.append(item)
+        return batch

@@ -1,0 +1,222 @@
+"""The single-writer coordinator of the admission daemon.
+
+One asyncio task owns all mutation of the live :class:`ServeState`;
+handlers only enqueue work and await futures.  Each flush:
+
+* observes ``serve.batch_size`` (the coalescing win: p50 > 1 under load);
+* answers every ``/admit`` by running the *offline* partitioner verbatim
+  — bit-identical to ``repro-mc``'s batch path by construction, pinned
+  by the ``serve-offline`` oracle in :mod:`repro.validate`;
+* answers the flush's ``/place`` requests with **one** call into the
+  stacked probe kernel (:func:`repro.partition.probe.batch_probe_tasks`
+  over the whole micro-batch), then applies placements greedily in
+  arrival order, refreshing only the column of the core that just
+  changed for the remaining rows.
+
+Placement rule: best fit by Eq. (15) — the feasible core whose new
+Eq.-(9) utilization is smallest (ties to the lowest core index), i.e.
+the worst-fit/best-balance choice CA-TPA's probes are built for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.batch import _core_utilization_stack
+from repro.metrics.core import imbalance_factor
+from repro.model import MCTaskSet, Partition
+from repro.obs.runtime import OBS, span
+from repro.partition.probe import batch_probe_tasks
+from repro.partition.registry import get_partitioner
+from repro.serve.batcher import MicroBatcher, WorkItem
+from repro.serve.protocol import AdmitRequest, PlaceRequest, ProtocolError
+from repro.serve.state import ServeState
+from repro.types import ReproError
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator:
+    """Drains the batcher; the only writer of ``state``."""
+
+    def __init__(
+        self,
+        state: ServeState,
+        batcher: MicroBatcher,
+        rule: str = "max",
+    ):
+        self.state = state
+        self.batcher = batcher
+        self.rule = rule
+
+    async def run(self) -> None:
+        """Flush batches until the batcher is closed and drained."""
+        while (batch := await self.batcher.next_batch()) is not None:
+            self.flush(batch)
+
+    # ------------------------------------------------------------------
+    def flush(self, batch: list[WorkItem]) -> None:
+        """Resolve every future of one micro-batch (synchronous)."""
+        if OBS.enabled:
+            OBS.registry.summary("serve.batch_size").observe(float(len(batch)))
+        places = [item for item in batch if item.kind == "place"]
+        with span("serve.flush", batch=len(batch)):
+            for item in batch:
+                if item.kind == "admit":
+                    self._resolve(item, self._admit, item.request)
+            if places:
+                self._place_flush(places)
+
+    @staticmethod
+    def _resolve(item: WorkItem, fn, *args) -> None:
+        if item.future.cancelled():  # pragma: no cover - client went away
+            return
+        try:
+            item.future.set_result(fn(*args))
+        except ReproError as exc:
+            item.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # /admit: the offline partitioner, verbatim
+    # ------------------------------------------------------------------
+    def _admit(self, req: AdmitRequest) -> dict:
+        reg = OBS.registry
+        if OBS.enabled:
+            reg.counter(f"serve.admit.requests[{req.scheme}]").inc()
+        with span("serve.admit", scheme=req.scheme, cores=req.cores):
+            result = get_partitioner(req.scheme).partition(req.taskset, req.cores)
+        utils = result.partition.core_utilizations(self.rule)
+        if OBS.enabled and result.schedulable:
+            reg.counter(f"serve.admit.schedulable[{req.scheme}]").inc()
+        return {
+            "scheme": result.scheme,
+            "cores": req.cores,
+            "schedulable": bool(result.schedulable),
+            "assignment": result.partition.assignment.tolist(),
+            "order": list(result.order),
+            "failed_task": result.failed_task,
+            "utilizations": utils.tolist(),
+            "lambda": float(imbalance_factor(utils)),
+        }
+
+    # ------------------------------------------------------------------
+    # /place: one stacked kernel call per flush
+    # ------------------------------------------------------------------
+    def _place_flush(self, places: list[WorkItem]) -> None:
+        state = self.state
+        # Reject tasks the daemon's K cannot express before touching state.
+        ready: list[WorkItem] = []
+        for item in places:
+            task = item.request.task
+            if task.criticality > state.levels:
+                self._resolve(
+                    item,
+                    self._raise,
+                    ProtocolError(
+                        f"task criticality {task.criticality} exceeds the "
+                        f"daemon's K={state.levels}"
+                    ),
+                )
+            else:
+                ready.append(item)
+        if not ready:
+            return
+
+        old = state.partition
+        old_tasks = list(old.taskset) if old is not None else []
+        new_tasks = [item.request.task for item in ready]
+        grown = MCTaskSet(old_tasks + new_tasks, levels=state.levels)
+        part = old.extended(grown) if old is not None else Partition(
+            grown, state.cores
+        )
+        base = len(old_tasks)
+        idx = list(range(base, base + len(ready)))
+
+        with span("serve.place", batch=len(ready)):
+            # THE kernel call of the flush: every (task, core) hypothesis
+            # of the micro-batch in one stacked NumPy pass.
+            utils = batch_probe_tasks(part, idx, rule=self.rule)
+            decisions: list[int | None] = []
+            for t, task_index in enumerate(idx):
+                core = self._best_core(utils[t])
+                decisions.append(core)
+                if core is None:
+                    continue
+                part.assign(task_index, core)
+                remaining = idx[t + 1 :]
+                if remaining:
+                    # Only the chosen core's column went stale; refresh it
+                    # for the rows still waiting (one small kernel call).
+                    utils[t + 1 :, core] = self._column_probe(
+                        part, core, remaining
+                    )
+
+        accepted = [i for i, c in zip(idx, decisions) if c is not None]
+        if len(accepted) < len(ready):
+            # Drop rejected tasks from the live set: rebuild the grown
+            # task set from the accepted suffix only.  Decisions are
+            # unaffected — rejected tasks were never assigned, so they
+            # contributed nothing to any level matrix.
+            if accepted:
+                kept = old_tasks + [grown[i] for i in accepted]
+                final_ts = MCTaskSet(kept, levels=state.levels)
+                final = (
+                    old.extended(final_ts)
+                    if old is not None
+                    else Partition(final_ts, state.cores)
+                )
+                for offset, i in enumerate(accepted):
+                    final.assign(base + offset, int(part.core_of(i)))
+                part = final
+            else:
+                part = old  # nothing accepted: state is unchanged
+        if part is not None and part is not old:
+            state.commit(part)
+        snap_seq = state.snapshot.seq
+
+        reg = OBS.registry
+        for item, core in zip(ready, decisions):
+            if OBS.enabled:
+                name = "accepted" if core is not None else "rejected"
+                reg.counter(f"serve.place.{name}").inc()
+            self._resolve(item, self._place_response, item.request, core, snap_seq)
+
+    def _place_response(
+        self, req: PlaceRequest, core: int | None, seq: int
+    ) -> dict:
+        return {
+            "task": {
+                "name": req.task.name,
+                "period": req.task.period,
+                "wcets": list(req.task.wcets),
+            },
+            "accepted": core is not None,
+            "core": core,
+            "seq": seq,
+        }
+
+    @staticmethod
+    def _raise(exc: Exception) -> None:
+        raise exc
+
+    @staticmethod
+    def _best_core(row: np.ndarray) -> int | None:
+        """Feasible core with the smallest Eq.-(15) probe, or ``None``."""
+        finite = np.isfinite(row)
+        if not finite.any():
+            return None
+        best = np.where(finite, row, np.inf)
+        return int(np.argmin(best))  # argmin ties to the lowest index
+
+    def _column_probe(
+        self, part: Partition, core: int, task_indices: list[int]
+    ) -> np.ndarray:
+        """Probe ``task_indices`` against one core, vectorized."""
+        taskset = part.taskset
+        idx = np.asarray(task_indices, dtype=np.int64)
+        mats = np.broadcast_to(
+            part.level_matrix(core), (idx.size,) + part.level_matrix(core).shape
+        ).copy()
+        rows = taskset.criticalities[idx] - 1
+        mats[np.arange(idx.size), rows, :] += taskset.utilization_matrix[idx]
+        return _core_utilization_stack(mats, self.rule)

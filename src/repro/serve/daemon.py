@@ -1,0 +1,167 @@
+"""Daemon lifecycle: wire-up, instrumentation, graceful shutdown.
+
+:class:`ServeDaemon` assembles state + batcher + coordinator + HTTP
+transport, runs them under :func:`repro.obs.runtime.instrument` (so
+``serve.*`` counters, probe counters and spans all accumulate in one
+registry), and on shutdown drains the queue before exporting the run
+manifest and the metrics snapshot — a stopped daemon leaves the same
+provenance trail as a finished ``repro-mc`` sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro._version import __version__
+from repro.obs import (
+    JsonlSink,
+    build_manifest,
+    manifest_path_for,
+    new_run_id,
+    write_manifest,
+)
+from repro.obs import runtime as obs_runtime
+from repro.serve.batcher import MicroBatcher
+from repro.serve.coordinator import Coordinator
+from repro.serve.handlers import Api
+from repro.serve.http import HttpServer
+from repro.serve.state import ServeState
+
+__all__ = ["ServeConfig", "ServeDaemon", "run_forever"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro-mc serve`` can tune."""
+
+    cores: int = 4
+    levels: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; the bound port is printed/exposed
+    window_ms: float = 1.0
+    max_batch: int = 64
+    backlog: int = 256
+    rule: str = "max"
+    metrics_path: str | None = None
+    log_json: str | None = None
+    command: list[str] = field(default_factory=list)
+
+
+class ServeDaemon:
+    """One runnable admission daemon instance."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.state = ServeState(cores=config.cores, levels=config.levels)
+        self.batcher = MicroBatcher(
+            maxsize=config.backlog,
+            window=config.window_ms / 1e3,
+            max_batch=config.max_batch,
+        )
+        self.coordinator = Coordinator(self.state, self.batcher, rule=config.rule)
+        self.api = Api(self.state, self.batcher)
+        self.server = HttpServer(self.api, config.host, config.port)
+        self.run_id = new_run_id()
+        self.bound: tuple[str, int] | None = None
+
+    async def run(
+        self,
+        shutdown: asyncio.Event,
+        ready: asyncio.Event | None = None,
+    ) -> int:
+        """Serve until ``shutdown`` is set; then drain and export."""
+        config = self.config
+        sink = JsonlSink(config.log_json) if config.log_json else None
+        try:
+            with obs_runtime.instrument(sink=sink, run_id=self.run_id) as obs:
+                self.bound = await self.server.start()
+                obs_runtime.emit(
+                    "serve.start",
+                    host=self.bound[0],
+                    port=self.bound[1],
+                    cores=config.cores,
+                )
+                worker = asyncio.create_task(self.coordinator.run())
+                if ready is not None:
+                    ready.set()
+                await shutdown.wait()
+                # Graceful: stop accepting, let queued work drain.
+                await self.server.stop()
+                self.batcher.close()
+                await worker
+                obs_runtime.emit("serve.stop", seq=self.state.snapshot.seq)
+                snapshot = obs.registry.snapshot()
+        finally:
+            if sink is not None:
+                sink.close()
+        self._export(snapshot)
+        return 0
+
+    def _export(self, metrics_snapshot: dict) -> None:
+        """Write the metrics dump and its run manifest (if configured)."""
+        if self.config.metrics_path is None:
+            return
+        metrics_path = Path(self.config.metrics_path)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(
+                {
+                    "run_id": self.run_id,
+                    "repro_version": __version__,
+                    "command": self.config.command,
+                    "metrics": metrics_snapshot,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        manifest = build_manifest(
+            run_id=self.run_id,
+            command=self.config.command,
+            figure="serve",
+            jobs=1,
+            artifact_path=metrics_path,
+            metrics=metrics_snapshot,
+            events_log=self.config.log_json,
+        )
+        write_manifest(manifest_path_for(metrics_path), manifest)
+
+
+def run_forever(config: ServeConfig, stream=sys.stderr) -> int:
+    """Blocking entry point used by ``repro-mc serve``.
+
+    Installs SIGINT/SIGTERM handlers for a graceful drain-then-export
+    shutdown and prints the bound address once listening.
+    """
+    import signal
+
+    async def _main() -> int:
+        daemon = ServeDaemon(config)
+        shutdown = asyncio.Event()
+        ready = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, shutdown.set)
+
+        async def announce():
+            await ready.wait()
+            host, port = daemon.bound
+            stream.write(
+                f"repro-mc serve: listening on http://{host}:{port} "
+                f"(cores={config.cores}, K={config.levels}, "
+                f"window={config.window_ms}ms)\n"
+            )
+            stream.flush()
+
+        announcer = asyncio.create_task(announce())
+        code = await daemon.run(shutdown, ready=ready)
+        await announcer
+        stream.write("repro-mc serve: drained and stopped\n")
+        stream.flush()
+        return code
+
+    return asyncio.run(_main())

@@ -1,0 +1,70 @@
+"""Route table of the admission daemon.
+
+``Api.handle`` maps ``(method, path, body)`` to ``(status, json_body)``.
+Reads (``/state``, ``/metrics``, ``/healthz``) are answered inline from
+immutable snapshots — no queue, no lock.  Writes (``/admit``,
+``/place``) are submitted to the :class:`MicroBatcher` and awaited; a
+full queue turns into ``503`` (backpressure), malformed bodies into
+``400``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.runtime import OBS
+from repro.serve.batcher import MicroBatcher, ServeOverflow
+from repro.serve.protocol import ProtocolError, parse_admit, parse_place
+from repro.serve.state import ServeState
+from repro.types import ReproError
+
+__all__ = ["Api"]
+
+
+class Api:
+    """Dispatches parsed HTTP requests; owns no mutable state itself."""
+
+    def __init__(self, state: ServeState, batcher: MicroBatcher):
+        self.state = state
+        self.batcher = batcher
+
+    async def handle(self, method: str, path: str, payload: object):
+        """Returns ``(status, body_dict)``."""
+        started = time.perf_counter()
+        try:
+            status, body = await self._route(method, path, payload)
+        except ProtocolError as exc:
+            status, body = exc.status, {"error": str(exc)}
+        except ServeOverflow as exc:
+            if OBS.enabled:
+                OBS.registry.counter("serve.overflow_503").inc()
+            status, body = 503, {"error": str(exc)}
+        except ReproError as exc:
+            status, body = 422, {"error": str(exc)}
+        if OBS.enabled:
+            OBS.registry.summary("serve.latency_ms").observe(
+                (time.perf_counter() - started) * 1e3
+            )
+            OBS.registry.counter(f"serve.http.{status}").inc()
+        return status, body
+
+    async def _route(self, method: str, path: str, payload: object):
+        if path == "/admit" and method == "POST":
+            future = self.batcher.submit("admit", parse_admit(payload))
+            return 200, await future
+        if path == "/place" and method == "POST":
+            future = self.batcher.submit("place", parse_place(payload))
+            body = await future
+            return (200 if body["accepted"] else 409), body
+        if path == "/state" and method == "GET":
+            return 200, self.state.snapshot.to_dict()
+        if path == "/metrics" and method == "GET":
+            return 200, {
+                "queue_depth": self.batcher.depth,
+                "metrics": OBS.registry.snapshot(),
+            }
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "seq": self.state.snapshot.seq}
+        if path in ("/admit", "/place", "/state", "/metrics", "/healthz"):
+            raise ProtocolError(f"{method} not allowed on {path}", status=405)
+        raise ProtocolError(f"no such endpoint: {path}", status=404)

@@ -13,6 +13,7 @@ from __future__ import annotations
 __all__ = [
     "EPS",
     "INFEASIBLE",
+    "fits_unit_capacity",
     "ReproError",
     "ModelError",
     "PartitionError",
@@ -22,6 +23,20 @@ __all__ = [
 
 #: Absolute tolerance for floating point feasibility comparisons.
 EPS: float = 1e-12
+
+
+def fits_unit_capacity(value):
+    """``value <= 1 + EPS``, evaluated in slack form ``1 - value >= -EPS``.
+
+    The two phrasings are *not* float-equivalent: ``1.0 + EPS`` rounds to
+    a representable number slightly above ``1 + 1e-12``, while the
+    subtraction ``1.0 - value`` is exact for ``value`` in ``[0.5, 2]``
+    (Sterbenz), which is how Theorem 1's available-utilization chain
+    measures slack.  Every unit-capacity admission comparison goes
+    through this helper so that Eq. (4), Eq. (7) and Theorem 1 agree on
+    the boundary bit-for-bit.  Works elementwise on NumPy arrays.
+    """
+    return (1.0 - value) >= -EPS
 
 #: Sentinel value used for "this core cannot accommodate the task"
 #: (Eq. (15a) of the paper assigns the new core utilization +inf in that

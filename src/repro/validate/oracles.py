@@ -39,6 +39,10 @@ Built-in oracles
     Running instrumented changes nothing, and the report's
     ``telemetry()`` reconciles key-for-key with the ``sim.*`` obs
     counters.
+``serve-offline``
+    The admission daemon's ``/admit`` answers (coordinator + micro-
+    batcher, all schemes submitted concurrently) are bit-identical to
+    the offline partitioner's results.
 """
 
 from __future__ import annotations
@@ -404,5 +408,60 @@ def _check_telemetry_counters(case: ValidationCase) -> list[str]:
         if recorded != value:
             failures.append(
                 f"{key}: report says {value} but the obs counter says {recorded}"
+            )
+    return failures
+
+
+@register_oracle(
+    "serve-offline",
+    "the admission daemon's /admit answers match the offline partitioner",
+)
+def _check_serve_offline(case: ValidationCase) -> list[str]:
+    """Differential: online service vs. offline batch, same question.
+
+    Spins up an in-process coordinator (no sockets), submits one
+    ``/admit`` per paper scheme *concurrently* — so the answers come out
+    of real coalesced flushes — and requires byte-identical agreement
+    with a direct offline run of each partitioner.
+    """
+    import asyncio
+
+    # Deferred: repro.serve must stay an optional layer of validate.
+    from repro.partition.registry import PAPER_SCHEMES, get_partitioner
+    from repro.serve import AdmitRequest, Coordinator, MicroBatcher, ServeState
+
+    cores = case.config.cores
+
+    async def query() -> list[dict]:
+        state = ServeState(cores=cores, levels=case.taskset.levels)
+        batcher = MicroBatcher(window=0.001)
+        worker = asyncio.create_task(Coordinator(state, batcher).run())
+        futures = [
+            batcher.submit(
+                "admit", AdmitRequest(case.taskset, cores, scheme)
+            )
+            for scheme in PAPER_SCHEMES
+        ]
+        bodies = await asyncio.gather(*futures)
+        batcher.close()
+        await worker
+        return bodies
+
+    failures = []
+    for scheme, body in zip(PAPER_SCHEMES, asyncio.run(query())):
+        offline = get_partitioner(scheme).partition(case.taskset, cores)
+        expected = {
+            "schedulable": bool(offline.schedulable),
+            "assignment": offline.partition.assignment.tolist(),
+            "order": list(offline.order),
+            "failed_task": offline.failed_task,
+            "utilizations": offline.partition.core_utilizations().tolist(),
+        }
+        got = {key: body[key] for key in expected}
+        if got != expected:
+            diff = {k: (got[k], expected[k]) for k in expected if got[k] != expected[k]}
+            failures.append(
+                f"{scheme}: serve /admit diverges from the offline "
+                f"partitioner on (serve, offline) = {diff}"
             )
     return failures

@@ -1,0 +1,55 @@
+"""Regression: every unit-capacity test measures the boundary the same way.
+
+Hypothesis found a real disagreement at ``v = 1.000000000001``: the old
+phrasing ``v <= 1.0 + EPS`` accepts it (``1.0 + EPS`` rounds to exactly
+that float), while Theorem 1's slack chain computes ``1.0 - v`` exactly
+(Sterbenz) and rejects it.  All admission comparisons now go through
+:func:`repro.types.fits_unit_capacity`, so Eq. (4), Eq. (7) and
+Theorem 1 agree bit-for-bit on the boundary.
+"""
+
+import numpy as np
+
+from repro.analysis.batch import batch_is_feasible_core
+from repro.analysis.dual import DualUtilizations, is_feasible_dual
+from repro.analysis.edfvd import is_feasible_theorem1
+from repro.analysis.feasibility import is_feasible_core
+from repro.analysis.simple import is_feasible_plain_edf, is_feasible_simple
+from repro.types import EPS, fits_unit_capacity
+
+#: The falsifying example: the float just above 1 whose distance to 1.0
+#: exceeds EPS, but which the rounded constant ``1.0 + EPS`` equals.
+JUST_ABOVE = 1.000000000001
+
+
+class TestFitsUnitCapacity:
+    def test_boundary_uses_exact_subtraction(self):
+        assert JUST_ABOVE - 1.0 > EPS  # genuinely over capacity
+        assert not fits_unit_capacity(JUST_ABOVE)
+        assert fits_unit_capacity(1.0)
+        assert fits_unit_capacity(1.0 + 0.5 * EPS)
+        assert fits_unit_capacity(0.0)
+
+    def test_elementwise_on_arrays(self):
+        out = fits_unit_capacity(np.array([0.5, 1.0, JUST_ABOVE, 2.0]))
+        assert out.tolist() == [True, True, False, False]
+
+
+class TestBoundaryAgreement:
+    def test_dual_eq7_matches_theorem1_at_falsifying_example(self):
+        u = DualUtilizations(lo_lo=0.0, hi_lo=0.0, hi_hi=JUST_ABOVE)
+        mat = np.array([[0.0, 0.0], [0.0, JUST_ABOVE]])
+        assert is_feasible_dual(u) == is_feasible_theorem1(mat) is False
+
+    def test_eq4_fast_path_matches_theorem1_at_boundary(self):
+        # A core whose trace is the falsifying value: Eq. (4) must not
+        # admit what the Theorem-1 chain rejects, or is_feasible_core's
+        # "fast path never changes the answer" contract breaks.
+        mat = np.array([[0.0, 0.0], [0.0, JUST_ABOVE]])
+        assert not is_feasible_simple(mat)
+        assert not is_feasible_core(mat)
+        assert not batch_is_feasible_core(mat[None, :, :])[0]
+
+    def test_plain_edf_boundary(self):
+        assert is_feasible_plain_edf([1.0])
+        assert not is_feasible_plain_edf([JUST_ABOVE])

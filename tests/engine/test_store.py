@@ -1,7 +1,12 @@
 """Tests for the content-addressed shard checkpoint store."""
 
+import json
+import os
+import threading
+import time
+
 from repro.engine.spec import PointSpec, SchemeSpec, default_schemes
-from repro.engine.store import ResultStore, shard_key
+from repro.engine.store import STALE_TEMP_SECONDS, ResultStore, shard_key
 from repro.gen.params import WorkloadConfig
 
 
@@ -85,3 +90,71 @@ class TestResultStore:
 
         monkeypatch.setenv("REPRO_MC_STORE", str(tmp_path / "elsewhere"))
         assert default_store_root() == tmp_path / "elsewhere"
+
+
+class TestTempFileSafety:
+    """Regression: PID-only temp suffixes raced across threads and
+    crashed runs left ``.tmp.*`` debris forever."""
+
+    def test_temp_paths_unique_across_threads(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" * 32
+        paths, barrier = [], threading.Barrier(2, timeout=10)
+
+        def grab():
+            barrier.wait()
+            paths.append(store._temp_path(key))
+
+        threads = [threading.Thread(target=grab) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(paths) == 2 and paths[0] != paths[1]
+        # pid alone (the old suffix) cannot distinguish the two.
+        assert all(str(os.getpid()) in p.name for p in paths)
+
+    def test_concurrent_same_key_puts_survive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" * 32
+        errors = []
+        barrier = threading.Barrier(2, timeout=10)
+
+        def hammer(value):
+            try:
+                barrier.wait()
+                for i in range(200):
+                    store.put(key, {"v": value, "i": i})
+            except Exception as exc:  # pragma: no cover - the old race
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(v,)) for v in (1, 2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        # Last atomic rename won: the entry is whole, valid JSON.
+        payload = store.get(key)
+        assert payload is not None and payload["i"] == 199
+        leftovers = [p for p in tmp_path.rglob("*.tmp.*") if p.is_file()]
+        assert leftovers == []
+
+    def test_stale_temps_purged_on_open(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" * 32
+        store.put(key, {"v": 1})
+        obj_dir = store._path(key).parent
+        stale = obj_dir / f"{key}.json.tmp.999999.1.0"
+        stale.write_text("{half a checkpoint")
+        old = time.time() - STALE_TEMP_SECONDS - 60
+        os.utime(stale, (old, old))
+        fresh = obj_dir / f"{key}.json.tmp.999999.2.0"
+        fresh.write_text("{in-flight write")
+
+        reopened = ResultStore(tmp_path)
+        assert reopened.temps_purged == 1
+        assert not stale.exists()
+        assert fresh.exists()  # young: may be a live concurrent writer
+        # The real entry is untouched.
+        assert json.loads(store._path(key).read_text()) == {"v": 1}

@@ -307,9 +307,11 @@ class TestValidate:
         assert cli.main(argv) == 0
         payload = json.loads(metrics_path.read_text())
         counters = payload["metrics"]["counters"]
-        # 4 campaign configs x 1 set each, 7 oracles per case.
+        # 4 campaign configs x 1 set each, every registered oracle per case.
+        from repro.validate import all_oracles
+
         assert counters["validate.cases"] == 4
-        assert counters["validate.checks"] == 28
+        assert counters["validate.checks"] == 4 * len(all_oracles())
 
 
 class TestTraceCommand:
@@ -463,3 +465,55 @@ class TestInspect:
     def test_inspect_missing_manifest_errors(self, tmp_path, capsys):
         assert cli.main(["inspect", str(tmp_path / "nope.json")]) == 1
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestLazyOut:
+    """Regression: ``--out`` used ``argparse.FileType("w")``, which
+    created/truncated the target at *parse* time — a command that then
+    failed had already destroyed the previous report."""
+
+    def test_failing_command_leaves_existing_out_untouched(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        out.write_text("previous good report\n")
+        rc = cli.main(["inspect", str(tmp_path / "nope.json"), "--out", str(out)])
+        capsys.readouterr()
+        assert rc == 1
+        assert out.read_text() == "previous good report\n"
+
+    def test_parse_error_does_not_create_out(self, tmp_path, capsys):
+        out = tmp_path / "never.txt"
+        with pytest.raises(SystemExit):
+            cli.main(["no-such-experiment", "--out", str(out)])
+        capsys.readouterr()
+        assert not out.exists()
+
+    def test_successful_command_writes_out(self, tmp_path, capsys):
+        out = tmp_path / "tables.txt"
+        out.write_text("stale content")
+        assert cli.main(["tables", "--out", str(out)]) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert "Table I" in text and "stale content" not in text
+
+
+class TestServeParser:
+    def test_serve_options_parse(self):
+        args = cli.build_parser().parse_args(
+            [
+                "serve",
+                "--cores", "8",
+                "--levels", "3",
+                "--port", "0",
+                "--window-ms", "2.5",
+                "--max-batch", "16",
+                "--backlog", "32",
+            ]
+        )
+        assert args.experiment == "serve"
+        assert (args.cores, args.levels, args.port) == (8, 3, 0)
+        assert (args.window_ms, args.max_batch, args.backlog) == (2.5, 16, 32)
+
+    def test_serve_defaults(self):
+        args = cli.build_parser().parse_args(["serve"])
+        assert args.cores == 4 and args.port == 8787
+        assert args.window_ms == 1.0 and args.backlog == 256

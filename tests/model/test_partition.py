@@ -197,3 +197,138 @@ class TestExport:
         vec = part.assignment
         vec[0] = 1
         assert part.core_of(0) == -1
+
+
+class TestUnassign:
+    def test_unassign_reverts_matrices_exactly(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        before = part.level_matrix(1).copy()
+        part.assign(1, 1)
+        part.assign(2, 1)
+        core = part.unassign(2)
+        assert core == 1
+        part.unassign(1)
+        # Recomputed, not decremented: bit-identical to the pre-assign state.
+        assert np.array_equal(part.level_matrix(1), before)
+        assert part.core_of(1) == -1 and part.core_of(2) == -1
+        assert part.tasks_on(1) == []
+
+    def test_unassign_then_reassign_elsewhere(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(1, 0)
+        part.unassign(1)
+        part.assign(1, 1)
+        assert part.core_of(1) == 1
+        twin = Partition(ts, cores=2)
+        twin.assign(1, 1)
+        assert np.array_equal(part.level_matrices(), twin.level_matrices())
+
+    def test_unassign_invalidates_util_cache(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(1, 0)
+        loaded = part.core_utilization(0)
+        assert loaded > 0.0
+        part.unassign(1)
+        assert part.core_utilization(0) == 0.0
+        assert part.core_size(0) == 0
+
+    def test_unassign_unassigned_rejected(self, ts):
+        part = Partition(ts, cores=2)
+        with pytest.raises(PartitionError, match="not assigned"):
+            part.unassign(0)
+        with pytest.raises(PartitionError, match="out of range"):
+            part.unassign(99)
+
+
+class TestSnapshot:
+    def test_snapshot_is_immutable(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        snap = part.snapshot()
+        assert snap.is_frozen and not part.is_frozen
+        with pytest.raises(PartitionError, match="immutable"):
+            snap.assign(1, 1)
+        with pytest.raises(PartitionError, match="immutable"):
+            snap.unassign(0)
+
+    def test_snapshot_unaffected_by_later_mutation(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        snap = part.snapshot()
+        mats = snap.level_matrices().copy()
+        part.assign(1, 0)
+        part.assign(2, 1)
+        assert np.array_equal(snap.level_matrices(), mats)
+        assert snap.core_of(1) == -1
+        assert snap.core_size(1) == 0
+
+    def test_snapshot_reads_work(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(1, 0)
+        snap = part.snapshot()
+        assert snap.core_utilization(0) == part.core_utilization(0)
+        assert snap.tasks_on(0) == [1]
+        assert np.array_equal(snap.candidate_stack(2), part.candidate_stack(2))
+
+
+class TestExtended:
+    def test_extended_carries_warm_state(self, ts):
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        part.assign(1, 1)
+        grown = MCTaskSet(
+            list(ts) + [MCTask(wcets=(1.0, 2.0), period=5.0)], levels=2
+        )
+        ext = part.extended(grown)
+        assert len(ext.taskset) == 4
+        assert ext.core_of(0) == 0 and ext.core_of(1) == 1
+        assert ext.core_of(2) == -1 and ext.core_of(3) == -1
+        assert np.array_equal(ext.level_matrices(), part.level_matrices())
+        # The extension is mutable and matrices match a cold rebuild.
+        ext.assign(3, 0)
+        cold = Partition(grown, cores=2)
+        for i, core in enumerate(ext.assignment):
+            if core >= 0:
+                cold.assign(i, int(core))
+        assert np.array_equal(ext.level_matrices(), cold.level_matrices())
+
+    def test_extended_rejects_non_prefix(self, ts):
+        part = Partition(ts, cores=2)
+        shuffled = ts.subset([1, 0, 2])
+        with pytest.raises(PartitionError, match="prefix"):
+            part.extended(shuffled)
+        with pytest.raises(PartitionError, match="prefix"):
+            part.extended(ts.subset([0, 1]))
+
+    def test_extended_rejects_level_change(self, ts):
+        part = Partition(ts, cores=2)
+        with pytest.raises(PartitionError, match="K="):
+            part.extended(ts.with_levels(3))
+
+
+class TestCandidateStacks:
+    def test_matches_single_task_stacks(self, ts):
+        part = Partition(ts, cores=3)
+        part.assign(0, 0)
+        part.assign(1, 2)
+        stacks = part.candidate_stacks([0, 1, 2])
+        for t, i in enumerate([0, 1, 2]):
+            assert np.array_equal(stacks[t], part.candidate_stack(i))
+
+    def test_empty_and_repeated_indices(self, ts):
+        part = Partition(ts, cores=2)
+        assert part.candidate_stacks([]).shape == (0, 2, 2, 2)
+        stacks = part.candidate_stacks([2, 2])
+        assert np.array_equal(stacks[0], stacks[1])
+
+    def test_rejects_2d_indices(self, ts):
+        part = Partition(ts, cores=2)
+        with pytest.raises(PartitionError, match="1-D"):
+            part.candidate_stacks([[0, 1]])
+
+    def test_writable_and_detached(self, ts):
+        part = Partition(ts, cores=2)
+        stacks = part.candidate_stacks([0])
+        stacks += 1.0  # writable copy
+        assert np.array_equal(part.level_matrix(0), np.zeros((2, 2)))

@@ -1,0 +1,104 @@
+"""Concurrency isolation of the context-scoped switches.
+
+Regression tests for the process-global-state bugs the admission daemon
+exposed: ``use_probe_implementation`` and ``scheme_tag`` used to mutate
+module/singleton state, so two threads (or two asyncio tasks) flipped
+each other's probe engine and scheme attribution mid-decision.  Both now
+ride :class:`contextvars.ContextVar` — each context sees only its own
+selection, with the same context-manager API.
+"""
+
+import asyncio
+import threading
+
+from repro.obs.runtime import OBS, scheme_tag
+from repro.partition.probe import probe_implementation, use_probe_implementation
+
+
+def _interleave(worker_a, worker_b):
+    """Run two workers in lockstep; re-raise the first failure."""
+    barrier = threading.Barrier(2, timeout=10)
+    errors = []
+
+    def run(worker):
+        try:
+            worker(barrier.wait)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=run, args=(w,)) for w in (worker_a, worker_b)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    if errors:
+        raise errors[0]
+
+
+class TestProbeImplementationIsolation:
+    def test_two_threads_interleaved(self):
+        def scalar_side(sync):
+            assert probe_implementation() == "batch"
+            with use_probe_implementation("scalar"):
+                sync()  # both inside their with-blocks
+                assert probe_implementation() == "scalar"
+                sync()  # other thread asserted too
+            sync()  # both restored
+            assert probe_implementation() == "batch"
+
+        def batch_side(sync):
+            assert probe_implementation() == "batch"
+            with use_probe_implementation("batch"):
+                sync()
+                assert probe_implementation() == "batch"
+                sync()
+            sync()
+            assert probe_implementation() == "batch"
+
+        _interleave(scalar_side, batch_side)
+
+    def test_fresh_thread_sees_default(self):
+        seen = []
+        with use_probe_implementation("scalar"):
+            t = threading.Thread(target=lambda: seen.append(probe_implementation()))
+            t.start()
+            t.join(timeout=10)
+        assert seen == ["batch"]
+
+    def test_asyncio_tasks_isolated(self):
+        async def tagged(impl):
+            with use_probe_implementation(impl):
+                await asyncio.sleep(0)  # force an interleaving point
+                return probe_implementation()
+
+        async def main():
+            return await asyncio.gather(tagged("scalar"), tagged("batch"))
+
+        assert asyncio.run(main()) == ["scalar", "batch"]
+
+
+class TestSchemeTagIsolation:
+    def test_two_threads_interleaved(self):
+        def side(name):
+            def worker(sync):
+                assert OBS.scheme == ""
+                with scheme_tag(name):
+                    sync()
+                    assert OBS.scheme == name
+                    sync()
+                sync()
+                assert OBS.scheme == ""
+
+            return worker
+
+        _interleave(side("ca-tpa"), side("ffd"))
+
+    def test_nested_tags_restore(self):
+        with scheme_tag("outer"):
+            with scheme_tag("inner"):
+                assert OBS.scheme == "inner"
+            assert OBS.scheme == "outer"
+        assert OBS.scheme == ""

@@ -24,6 +24,8 @@ from repro.partition.probe import (
     batch_candidate_matrices,
     batch_probe,
     batch_probe_feasible,
+    batch_probe_feasible_tasks,
+    batch_probe_tasks,
     candidate_level_matrix,
     probe_core_utilization,
     probe_feasible,
@@ -136,3 +138,55 @@ class TestImplementationToggle:
         with pytest.raises(ModelError):
             with use_probe_implementation("simd"):
                 pass
+
+
+class TestMicroBatchProbes:
+    """The (T, M) micro-batch primitives equal T single-task probes."""
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    @pytest.mark.parametrize("rule", ["max", "min"])
+    def test_batch_probe_tasks_bit_identical(self, seed, rule):
+        rng = np.random.default_rng(seed)
+        ts = random_taskset(rng, n=14)
+        part = random_partial_partition(rng, ts, cores=4)
+        idx = [i for i in range(len(ts)) if part.core_of(i) < 0][:5]
+        got = batch_probe_tasks(part, idx, rule=rule)
+        want = np.stack([batch_probe(part, i, rule=rule) for i in idx])
+        assert np.array_equal(got, want)  # bit-identical, same kernel
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_batch_probe_feasible_tasks_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        ts = random_taskset(rng, n=14)
+        part = random_partial_partition(rng, ts, cores=4)
+        idx = [i for i in range(len(ts)) if part.core_of(i) < 0][:5]
+        got = batch_probe_feasible_tasks(part, idx)
+        want = np.stack([batch_probe_feasible(part, i) for i in idx])
+        assert np.array_equal(got, want)
+
+    def test_scalar_path_matches_batch_path(self):
+        rng = np.random.default_rng(3)
+        ts = random_taskset(rng, n=12)
+        part = random_partial_partition(rng, ts, cores=3)
+        idx = list(range(len(ts)))
+        batch_utils = batch_probe_tasks(part, idx)
+        batch_feas = batch_probe_feasible_tasks(part, idx)
+        with use_probe_implementation("scalar"):
+            scalar_utils = batch_probe_tasks(part, idx)
+            scalar_feas = batch_probe_feasible_tasks(part, idx)
+        np.testing.assert_allclose(scalar_utils, batch_utils, rtol=0, atol=1e-12)
+        assert np.array_equal(scalar_feas, batch_feas)
+
+    def test_empty_batch(self):
+        rng = np.random.default_rng(1)
+        ts = random_taskset(rng, n=6)
+        part = random_partial_partition(rng, ts, cores=2)
+        assert batch_probe_tasks(part, []).shape == (0, 2)
+        assert batch_probe_feasible_tasks(part, []).shape == (0, 2)
+
+    def test_bad_rule_rejected(self):
+        rng = np.random.default_rng(1)
+        ts = random_taskset(rng, n=6)
+        part = random_partial_partition(rng, ts, cores=2)
+        with pytest.raises(ModelError, match="rule"):
+            batch_probe_tasks(part, [0], rule="median")

@@ -1,0 +1,85 @@
+"""Fixtures for the admission-daemon tests: an in-process daemon + client."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import ServeConfig, ServeDaemon
+
+
+class HttpClient:
+    """A tiny raw-socket HTTP/1.1 client (no external deps, like the server)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    async def request(self, method: str, path: str, body=None, headers=""):
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            payload = b"" if body is None else json.dumps(body).encode()
+            head = (
+                f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+                f"Content-Length: {len(payload)}\r\n{headers}"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        head, _, data = raw.partition(b"\r\n\r\n")
+        return int(head.split()[1]), json.loads(data)
+
+    async def get(self, path: str):
+        return await self.request("GET", path)
+
+    async def post(self, path: str, body):
+        return await self.request("POST", path, body)
+
+
+class DaemonHarness:
+    """Starts a daemon on an ephemeral port; stops it gracefully."""
+
+    def __init__(self, **config_overrides):
+        overrides = {"port": 0, "cores": 2}
+        overrides.update(config_overrides)
+        self.config = ServeConfig(**overrides)
+        self.daemon = ServeDaemon(self.config)
+        self._shutdown = asyncio.Event()
+        self._runner: asyncio.Task | None = None
+        self.client: HttpClient | None = None
+
+    async def __aenter__(self) -> "DaemonHarness":
+        ready = asyncio.Event()
+        self._runner = asyncio.create_task(self.daemon.run(self._shutdown, ready=ready))
+        await asyncio.wait_for(ready.wait(), timeout=10)
+        self.client = HttpClient(*self.daemon.bound)
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def stop(self) -> int:
+        if self._runner is None:
+            return 0
+        self._shutdown.set()
+        code = await asyncio.wait_for(self._runner, timeout=10)
+        self._runner = None
+        return code
+
+
+@pytest.fixture
+def harness_factory():
+    return DaemonHarness
+
+
+def task_entry(period: float, wcets, name: str = "") -> dict:
+    return {"task": {"period": period, "wcets": list(wcets), "name": name}}

@@ -1,0 +1,92 @@
+"""Coalescing and backpressure semantics of the MicroBatcher."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher, ServeOverflow
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=10))
+
+
+class TestCoalescing:
+    def test_burst_lands_in_one_batch(self):
+        async def main():
+            batcher = MicroBatcher(window=0.01)
+            for i in range(5):
+                batcher.submit("place", i)
+            batch = await batcher.next_batch()
+            return [item.request for item in batch]
+
+        assert run(main()) == [0, 1, 2, 3, 4]
+
+    def test_window_waits_for_stragglers(self):
+        async def main():
+            batcher = MicroBatcher(window=0.05)
+            batcher.submit("place", "early")
+
+            async def straggler():
+                await asyncio.sleep(0.01)  # inside the window
+                batcher.submit("place", "late")
+
+            task = asyncio.create_task(straggler())
+            batch = await batcher.next_batch()
+            await task
+            return [item.request for item in batch]
+
+        assert run(main()) == ["early", "late"]
+
+    def test_max_batch_bounds_flush(self):
+        async def main():
+            batcher = MicroBatcher(window=0.0, max_batch=3)
+            for i in range(5):
+                batcher.submit("place", i)
+            first = await batcher.next_batch()
+            second = await batcher.next_batch()
+            return len(first), len(second)
+
+        assert run(main()) == (3, 2)
+
+
+class TestBackpressure:
+    def test_overflow_raises(self):
+        async def main():
+            batcher = MicroBatcher(maxsize=2)
+            batcher.submit("admit", 1)
+            batcher.submit("admit", 2)
+            with pytest.raises(ServeOverflow, match="full"):
+                batcher.submit("admit", 3)
+
+        run(main())
+
+    def test_submit_after_close_raises(self):
+        async def main():
+            batcher = MicroBatcher()
+            batcher.close()
+            with pytest.raises(ServeOverflow, match="shutting down"):
+                batcher.submit("admit", 1)
+
+        run(main())
+
+
+class TestShutdownDrain:
+    def test_close_drains_then_ends(self):
+        async def main():
+            batcher = MicroBatcher(window=0.0)
+            batcher.submit("place", "pending")
+            batcher.close()
+            first = await batcher.next_batch()
+            second = await batcher.next_batch()
+            return [i.request for i in first], second
+
+        assert run(main()) == (["pending"], None)
+
+    def test_close_empty_ends_immediately(self):
+        async def main():
+            batcher = MicroBatcher()
+            batcher.close()
+            return await batcher.next_batch()
+
+        assert run(main()) is None

@@ -1,0 +1,150 @@
+"""Coordinator semantics: offline parity, batched placement, rollback."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.partition.registry import PAPER_SCHEMES, get_partitioner
+from repro.serve.batcher import MicroBatcher, WorkItem
+from repro.serve.coordinator import Coordinator
+from repro.serve.protocol import AdmitRequest, PlaceRequest, ProtocolError
+from repro.serve.state import ServeState
+from tests.conftest import make_task, random_taskset
+
+
+def make_coordinator(cores=2, levels=2):
+    state = ServeState(cores=cores, levels=levels)
+    return Coordinator(state, MicroBatcher()), state
+
+
+def flush_one(coordinator, kind, request):
+    """Drive one request through flush(); return its result (or raise)."""
+    return flush_many(coordinator, [(kind, request)])[0]
+
+
+def flush_many(coordinator, reqs):
+    async def main():
+        loop = asyncio.get_running_loop()
+        items = [
+            WorkItem(kind, request, loop.create_future()) for kind, request in reqs
+        ]
+        coordinator.flush(items)
+        return [item.future.result() for item in items]
+
+    return asyncio.run(main())
+
+
+class TestAdmit:
+    @pytest.mark.parametrize("scheme", PAPER_SCHEMES)
+    def test_bit_identical_to_offline(self, scheme):
+        ts = random_taskset(np.random.default_rng(1), n=12)
+        coordinator, _ = make_coordinator(cores=3)
+        body = flush_one(coordinator, "admit", AdmitRequest(ts, 3, scheme))
+        offline = get_partitioner(scheme).partition(ts, 3)
+        assert body["schedulable"] == offline.schedulable
+        assert body["assignment"] == offline.partition.assignment.tolist()
+        assert body["failed_task"] == offline.failed_task
+        assert body["order"] == list(offline.order)
+        # Utilizations too — same floats, not merely close.
+        assert body["utilizations"] == offline.partition.core_utilizations().tolist()
+
+    def test_admit_does_not_touch_live_state(self):
+        ts = random_taskset(np.random.default_rng(2), n=6)
+        coordinator, state = make_coordinator()
+        before = state.snapshot
+        flush_one(coordinator, "admit", AdmitRequest(ts, 2, "ca-tpa"))
+        assert state.snapshot is before
+        assert state.partition is None
+
+
+class TestPlace:
+    def test_accepted_task_joins_live_state(self):
+        coordinator, state = make_coordinator()
+        body = flush_one(
+            coordinator, "place", PlaceRequest(make_task([0.3, 0.5], name="a"))
+        )
+        assert body["accepted"] is True and body["core"] in (0, 1)
+        assert state.snapshot.task_count == 1
+        assert state.snapshot.seq == 1
+        assert state.partition.core_of(0) == body["core"]
+
+    def test_batch_equals_sequential_placement(self):
+        """One coalesced flush decides exactly like one-at-a-time flushes."""
+        tasks = [
+            make_task([u, min(2 * u, 0.9)], name=f"t{i}")
+            for i, u in enumerate([0.3, 0.25, 0.4, 0.2, 0.35])
+        ]
+        batched, batched_state = make_coordinator(cores=3)
+        batch_bodies = flush_many(
+            batched, [("place", PlaceRequest(t)) for t in tasks]
+        )
+        sequential, sequential_state = make_coordinator(cores=3)
+        seq_bodies = [
+            flush_one(sequential, "place", PlaceRequest(t)) for t in tasks
+        ]
+        assert [b["core"] for b in batch_bodies] == [b["core"] for b in seq_bodies]
+        assert np.array_equal(
+            batched_state.partition.level_matrices(),
+            sequential_state.partition.level_matrices(),
+        )
+
+    def test_rejected_task_leaves_no_trace(self):
+        coordinator, state = make_coordinator(cores=1)
+        assert flush_one(
+            coordinator, "place", PlaceRequest(make_task([0.6, 0.8], name="big"))
+        )["accepted"]
+        before_mats = state.partition.level_matrices().copy()
+        body = flush_one(
+            coordinator, "place", PlaceRequest(make_task([0.6, 0.9], name="too-big"))
+        )
+        assert body["accepted"] is False and body["core"] is None
+        assert state.snapshot.task_count == 1  # not a member of the live set
+        assert np.array_equal(state.partition.level_matrices(), before_mats)
+
+    def test_mixed_batch_keeps_only_accepted(self):
+        coordinator, state = make_coordinator(cores=1)
+        bodies = flush_many(
+            coordinator,
+            [
+                ("place", PlaceRequest(make_task([0.5, 0.7], name="fits"))),
+                ("place", PlaceRequest(make_task([0.5, 0.7], name="overflows"))),
+                ("place", PlaceRequest(make_task([0.1, 0.15], name="fits-too"))),
+            ],
+        )
+        assert [b["accepted"] for b in bodies] == [True, False, True]
+        names = [t.name for t in state.partition.taskset]
+        assert names == ["fits", "fits-too"]
+        assert state.partition.is_complete
+
+    def test_criticality_above_daemon_levels_rejected(self):
+        coordinator, state = make_coordinator(levels=2)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            item = WorkItem(
+                "place",
+                PlaceRequest(make_task([0.1, 0.2, 0.3], name="k3")),
+                loop.create_future(),
+            )
+            coordinator.flush([item])
+            return item.future
+
+        future = asyncio.run(main())
+        with pytest.raises(ProtocolError, match="K=2"):
+            future.result()
+        assert state.partition is None
+
+    def test_mixed_admit_and_place_flush(self):
+        ts = random_taskset(np.random.default_rng(3), n=5)
+        coordinator, state = make_coordinator()
+        bodies = flush_many(
+            coordinator,
+            [
+                ("admit", AdmitRequest(ts, 2, "ffd")),
+                ("place", PlaceRequest(make_task([0.2, 0.3], name="x"))),
+            ],
+        )
+        assert "schedulable" in bodies[0]
+        assert bodies[1]["accepted"] is True
+        assert state.snapshot.task_count == 1

@@ -137,3 +137,32 @@ class TestProbeEquivalenceOracle:
         messages = get_oracle("probe-scalar-batch").check(case)
         assert messages
         assert "scalar/batch probes disagree" in messages[0]
+
+
+class TestServeOfflineOracle:
+    def test_green_on_healthy_cases(self):
+        for index in range(3):
+            case = make_case(DUAL_CONFIG, (), seed=11, index=index)
+            assert get_oracle("serve-offline").check(case) == []
+
+    def test_green_at_k3(self):
+        case = make_case(PROP_CONFIG, (), seed=5, index=1)
+        assert get_oracle("serve-offline").check(case) == []
+
+    def test_detects_serve_divergence(self, monkeypatch):
+        # Corrupt the service-side answer only: the oracle must flag the
+        # mismatch, proving it really compares serve against offline.
+        from repro.serve.coordinator import Coordinator
+
+        original = Coordinator._admit
+
+        def corrupted(self, req):
+            body = original(self, req)
+            body["schedulable"] = not body["schedulable"]
+            return body
+
+        monkeypatch.setattr(Coordinator, "_admit", corrupted)
+        case = make_case(DUAL_CONFIG, (), seed=11, index=0)
+        messages = get_oracle("serve-offline").check(case)
+        assert messages
+        assert "diverges from the offline partitioner" in messages[0]
