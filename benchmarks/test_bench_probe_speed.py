@@ -15,6 +15,14 @@ probe-independent pipeline (task-set generation, sorting, bookkeeping)
 and by the scalar path's lazy early-exit in the feasibility scans, so
 its ratio is much smaller than the probe-engine ratio.
 
+The third section pins the **incremental** backend: a daemon-style
+placement loop (probe every pending task, place one, re-probe — the
+coordinator's ``/place`` flush) timed under the batch and incremental
+backends on identical work.  The batch path recomputes the full
+``(pending, cores)`` grid every round; the incremental path answers
+unchanged columns from the warm per-core Theorem-1 state, so only the
+mutated core is fresh kernel work.
+
 Results land in ``BENCH_partition.json`` at the repo root (schema in
 docs/API.md).  The acceptance gate is the probe-engine throughput.
 """
@@ -29,6 +37,7 @@ import time
 import numpy as np
 from conftest import bench_sets
 
+from repro.bench import run_placement_bench
 from repro.experiments import default_schemes, evaluate_point
 from repro.gen import WorkloadConfig, generate_taskset
 from repro.model import Partition
@@ -89,6 +98,8 @@ def test_probe_throughput(emit):
     assert e2e_batch == e2e_scalar  # both paths: identical SchemeStats
     e2e_speedup = e2e_scalar_s / e2e_batch_s
 
+    placement = run_placement_bench(sets=bench_sets(6), seed=SEED)
+
     payload = {
         "benchmark": "theorem1-probe-throughput",
         "workload": dataclasses.asdict(config),
@@ -106,6 +117,7 @@ def test_probe_throughput(emit):
             },
             "speedup": probe_speedup,
         },
+        "placement": placement,
         "end_to_end": {
             "schemes": [spec.label for spec in default_schemes()],
             "scalar": {
@@ -134,6 +146,16 @@ def test_probe_throughput(emit):
         f"{probes / probe_batch_s:>12.0f}",
         f"  speedup: {probe_speedup:.2f}x",
         "",
+        "Placement loop (daemon /place flush shape, "
+        f"{placement['sets']} sets, {placement['hypotheses']} hypotheses, "
+        f"backlog {placement['task_count_range']}):",
+        f"  {'path':<12} {'seconds':>10} {'probes/sec':>12}",
+        f"  {'batch':<12} {placement['batch']['seconds']:>10.3f} "
+        f"{placement['batch']['probes_per_sec']:>12.0f}",
+        f"  {'incremental':<12} {placement['incremental']['seconds']:>10.3f} "
+        f"{placement['incremental']['probes_per_sec']:>12.0f}",
+        f"  speedup: {placement['speedup']:.2f}x",
+        "",
         "End-to-end evaluate_point, 5 schemes, jobs=1 (diluted by the "
         "probe-independent pipeline):",
         f"  {'path':<8} {'seconds':>10} {'sets/sec':>12}",
@@ -147,4 +169,8 @@ def test_probe_throughput(emit):
 
     assert probe_speedup >= 3.0, (
         f"batch probe engine only {probe_speedup:.2f}x faster than scalar"
+    )
+    assert placement["speedup"] >= 3.0, (
+        f"incremental backend only {placement['speedup']:.2f}x faster "
+        f"than batch on the placement loop"
     )

@@ -232,6 +232,10 @@ def main() -> int:
         try:
             status, body = request(host, port, "GET", "/healthz")
             assert status == 200 and body["ok"]
+            # The daemon must run the incremental probe backend by
+            # default — the offline-parity check below then proves the
+            # backend choice changes no decision.
+            assert body["probe_impl"] == "incremental", body
             check_admit_parity(host, port)
             burst = run_place_burst(host, port)
             check_shutdown(proc, metrics_path, burst)

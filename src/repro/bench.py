@@ -2,8 +2,9 @@
 
 ``repro-mc bench compare`` re-runs a scaled-down version of the
 ``benchmarks/`` probe microbenchmarks — Theorem-1 probe throughput
-(batch vs scalar) and the disabled-instrumentation overhead on the probe
-hot path — and compares the result against the committed
+(batch vs scalar), the daemon-style placement loop (incremental vs
+batch), and the disabled-instrumentation overhead on the probe hot
+path — and compares the result against the committed
 ``BENCH_partition.json`` / ``BENCH_obs_overhead.json`` baselines.
 
 Raw wall-clock numbers are not comparable across machines, so the gates
@@ -18,6 +19,12 @@ are deliberately chosen to survive a hardware change:
   machine-relative; the default ``gate_ratio`` leaves generous room for
   slower CI hardware while still catching an order-of-magnitude
   regression (e.g. the batch path silently falling back to scalar).
+* **incremental column** — on the placement-loop workload, measured
+  incremental hypotheses/sec must clear ``gate_ratio`` times the
+  committed figure, and the incremental/batch speedup must stay above
+  ``max(1.0, gate_ratio x committed)`` — i.e. the incremental backend
+  must never be slower than batch on the workload it exists for,
+  however slow the machine.
 * **disabled overhead** — the median paired guarded/raw ratio must stay
   under ``overhead_gate``.  Machine-independent by construction; the
   quick run uses a looser default gate than the full benchmark's 1.02
@@ -42,13 +49,21 @@ from repro.analysis.batch import _core_utilization_stack
 from repro.gen import WorkloadConfig, generate_taskset
 from repro.model import Partition
 from repro.partition import ordering
-from repro.partition.probe import batch_probe, use_probe_implementation
+from repro.partition.probe import (
+    batch_probe,
+    batch_probe_tasks,
+    use_probe_implementation,
+)
 
 __all__ = [
     "DEFAULT_SETS",
+    "DEFAULT_PLACEMENT_SETS",
     "DEFAULT_GATE_RATIO",
     "DEFAULT_OVERHEAD_GATE",
+    "PLACEMENT_TASK_RANGE",
+    "placement_loop",
     "replay_probe_states",
+    "run_placement_bench",
     "run_probe_bench",
     "compare_against_baselines",
     "run_compare",
@@ -56,7 +71,14 @@ __all__ = [
 
 SEED = 2016
 DEFAULT_SETS = 12
+DEFAULT_PLACEMENT_SETS = 3
 CHUNKS = 8  #: interleaved chunks for the paired A/B/A overhead measurement
+
+#: Backlog depth of the placement-loop workload.  The incremental
+#: backend's advantage grows with the number of pending rows per flush
+#: (unchanged columns answer from cache); a deep backlog is the
+#: daemon-under-load shape the backend exists for.
+PLACEMENT_TASK_RANGE = (250, 400)
 
 #: Measured value must be >= gate_ratio * committed value (throughput
 #: and speedup gates).  0.5 tolerates a 2x slower machine / noisy CI box
@@ -101,6 +123,76 @@ def replay_probe_states(
             partition.assign(task_index, target)
             placed.append((task_index, target))
     return states
+
+
+def placement_loop(taskset, cores: int, rule: str = "max") -> int:
+    """One daemon-style placement loop; returns hypotheses answered.
+
+    Mirrors the coordinator's ``/place`` flush: probe *every* pending
+    task against every core, place the head of the queue on its best
+    finite core, re-probe the remainder, repeat.  Under the batch
+    backend each round recomputes the full ``(pending, cores)`` grid;
+    under the incremental backend only the mutated core's column is
+    fresh work — identical answers, different cost.
+    """
+    partition = Partition(taskset, cores)
+    pending = list(ordering.by_contribution(taskset))
+    hypotheses = 0
+    while pending:
+        utils = batch_probe_tasks(partition, pending, rule=rule)
+        hypotheses += utils.size
+        head = utils[0]
+        task_index = pending.pop(0)
+        finite = np.isfinite(head)
+        if not finite.any():
+            continue  # no feasible core: skip, keep placing the rest
+        partition.assign(
+            task_index, int(np.argmin(np.where(finite, head, np.inf)))
+        )
+    return hypotheses
+
+
+def run_placement_bench(
+    sets: int = DEFAULT_PLACEMENT_SETS, seed: int = SEED, passes: int = 3
+) -> dict:
+    """Time the placement loop under the batch and incremental backends.
+
+    Both backends answer the exact same hypotheses (pinned bit-identical
+    by the validate campaign), so ``speedup`` is a pure throughput
+    ratio on provably equivalent work.
+    """
+    config = WorkloadConfig(task_count_range=PLACEMENT_TASK_RANGE)
+    rng = np.random.default_rng(seed)
+    tasksets = [generate_taskset(config, rng) for _ in range(sets)]
+    timings: dict[str, float] = {}
+    hypotheses = 0
+    for impl in ("batch", "incremental"):
+        with use_probe_implementation(impl):
+            placement_loop(tasksets[0], config.cores)  # warm-up
+            best = float("inf")
+            for _ in range(passes):
+                start = time.perf_counter()
+                hypotheses = sum(
+                    placement_loop(ts, config.cores) for ts in tasksets
+                )
+                best = min(best, time.perf_counter() - start)
+            timings[impl] = best
+    return {
+        "benchmark": "placement-loop",
+        "sets": sets,
+        "seed": seed,
+        "task_count_range": list(PLACEMENT_TASK_RANGE),
+        "hypotheses": hypotheses,
+        "batch": {
+            "seconds": timings["batch"],
+            "probes_per_sec": hypotheses / timings["batch"],
+        },
+        "incremental": {
+            "seconds": timings["incremental"],
+            "probes_per_sec": hypotheses / timings["incremental"],
+        },
+        "speedup": timings["batch"] / timings["incremental"],
+    }
 
 
 def _raw(partition: Partition, task_index: int):
@@ -156,6 +248,7 @@ def run_probe_bench(sets: int = DEFAULT_SETS, seed: int = SEED) -> dict:
             "probes_per_sec": len(states) / scalar_seconds,
         },
         "speedup": scalar_seconds / batch_seconds,
+        "placement": run_placement_bench(seed=seed),
         "disabled_overhead_ratio": statistics.median(ratios),
         "overhead_samples": len(ratios),
     }
@@ -222,6 +315,33 @@ def compare_against_baselines(
             committed_speedup,
             gate_ratio * committed_speedup,
         )
+        placement = partition.get("placement")
+        if placement is None:
+            # A vacuously-green incremental gate is itself a failure.
+            failures.append(
+                f"baseline {PARTITION_BASELINE} has no 'placement' section"
+            )
+            lines.append(f"  !! no placement section in {PARTITION_BASELINE}")
+        else:
+            committed_inc = float(
+                placement["incremental"]["probes_per_sec"]
+            )
+            committed_inc_speedup = float(placement["speedup"])
+            check(
+                "incremental probes/sec",
+                measured["placement"]["incremental"]["probes_per_sec"],
+                committed_inc,
+                gate_ratio * committed_inc,
+            )
+            # Machine-relative floor, but never below 1.0: whatever the
+            # hardware, incremental must not lose to batch on the
+            # placement workload.
+            check(
+                "incremental/batch speedup",
+                measured["placement"]["speedup"],
+                committed_inc_speedup,
+                max(1.0, gate_ratio * committed_inc_speedup),
+            )
 
     overhead = _load_json(baseline_dir / OVERHEAD_BASELINE)
     measured_overhead = measured["disabled_overhead_ratio"]

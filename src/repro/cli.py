@@ -54,6 +54,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro import bench as bench_defaults
@@ -78,8 +79,10 @@ from repro.obs import (
     write_manifest,
 )
 from repro.obs import runtime as obs_runtime
+from repro.partition.backend import available_backends, get_backend
 from repro.partition.catpa import CATPA
 from repro.partition.classical import FirstFitDecreasing
+from repro.partition.probe import use_probe_implementation
 from repro.types import ReproError
 
 __all__ = ["main", "build_parser", "version_string"]
@@ -246,6 +249,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write the merged instrumentation counters/summaries of the "
             "whole invocation to PATH as JSON"
+        ),
+    )
+    parser.add_argument(
+        "--probe-impl",
+        metavar="NAME",
+        default=None,
+        help=(
+            "probe backend for every schedulability probe of this "
+            "invocation (figures, validate, serve); one of: "
+            f"{', '.join(available_backends())}.  Defaults: batch for "
+            "sweeps/validate, incremental for serve.  All backends are "
+            "pinned bit-identical, so results never depend on the choice"
         ),
     )
     parser.add_argument(
@@ -521,19 +536,33 @@ def _run_validate(args, jobs, store, progress, command) -> int:
     sink = JsonlSink(args.log_json) if args.log_json else None
     snapshot = None
     start = time.perf_counter()
+    # --probe-impl rides the contextvar: the campaign engine resolves it
+    # per evaluate() and forwards it into worker processes + shard keys.
+    impl_ctx = (
+        use_probe_implementation(args.probe_impl)
+        if args.probe_impl
+        else nullcontext()
+    )
     try:
-        if instrumented:
-            with obs_runtime.instrument(sink=sink, run_id=run_id) as state:
-                obs_runtime.emit("cli.validate_start", sets=args.sets, seed=args.seed)
-                with obs_runtime.span("cli.validate"):
-                    result = run_campaign(
-                        args.sets, args.seed, jobs=jobs, store=store, progress=progress
+        with impl_ctx:
+            if instrumented:
+                with obs_runtime.instrument(sink=sink, run_id=run_id) as state:
+                    obs_runtime.emit(
+                        "cli.validate_start", sets=args.sets, seed=args.seed
                     )
-                snapshot = state.registry.snapshot()
-        else:
-            result = run_campaign(
-                args.sets, args.seed, jobs=jobs, store=store, progress=progress
-            )
+                    with obs_runtime.span("cli.validate"):
+                        result = run_campaign(
+                            args.sets,
+                            args.seed,
+                            jobs=jobs,
+                            store=store,
+                            progress=progress,
+                        )
+                    snapshot = state.registry.snapshot()
+            else:
+                result = run_campaign(
+                    args.sets, args.seed, jobs=jobs, store=store, progress=progress
+                )
     finally:
         if sink is not None:
             sink.close()
@@ -592,6 +621,7 @@ def _serve(args, command: list[str]) -> int:
         window_ms=args.window_ms,
         max_batch=args.max_batch,
         backlog=args.backlog,
+        probe_impl=args.probe_impl or "incremental",
         metrics_path=args.metrics,
         log_json=args.log_json,
         command=command,
@@ -600,6 +630,12 @@ def _serve(args, command: list[str]) -> int:
 
 
 def _dispatch(args, command: list[str]) -> int:
+    if args.probe_impl is not None:
+        try:
+            get_backend(args.probe_impl)
+        except ReproError as exc:
+            print(f"repro-mc: {exc}", file=sys.stderr)
+            return 2
     if args.experiment == "inspect":
         return _inspect(args.paths, args.out)
     if args.experiment == "trace":
@@ -641,7 +677,12 @@ def _dispatch(args, command: list[str]) -> int:
             if name == "tables":
                 text = _render_tables()
             else:
-                engine = Engine(jobs=jobs, store=store, progress=progress)
+                engine = Engine(
+                    jobs=jobs,
+                    store=store,
+                    progress=progress,
+                    probe_impl=args.probe_impl,
+                )
                 spec = definition_to_spec(
                     FIGURES[name](), sets=args.sets, seed=args.seed
                 )

@@ -36,6 +36,8 @@ from repro.gen.params import WorkloadConfig
 from repro.metrics.aggregate import SchemeAccumulator, SchemeStats
 from repro.obs import runtime as obs
 from repro.obs.metrics import Summary
+from repro.partition.backend import get_backend
+from repro.partition.probe import probe_implementation, use_probe_implementation
 from repro.types import ReproError
 
 __all__ = [
@@ -205,8 +207,15 @@ def _run_shard_job(
     start: int,
     count: int,
     collect_metrics: bool,
+    probe_impl: str = "batch",
 ):
     """Worker-process entry point: run one shard, optionally with metrics.
+
+    ``probe_impl`` is passed explicitly because contextvars do not cross
+    the ``ProcessPoolExecutor`` boundary: a worker interpreter starts on
+    the default backend, so the parent's selection must ride the job
+    arguments (it is also part of the shard key, so stores never mix
+    backends).
 
     When the parent engine runs instrumented, each worker evaluates its
     shard inside :func:`repro.obs.collect` (a fresh registry) and ships
@@ -218,12 +227,15 @@ def _run_shard_job(
     ``(result, metrics_dump_or_None, span_records_or_None)``.
     """
     run_shard = shard_kind(kind).run
-    if not collect_metrics:
-        return run_shard(config, schemes, seed, start, count), None, None
-    with obs.collect() as registry:
-        with obs.span("engine.shard.compute", set_start=start, set_count=count):
-            result = run_shard(config, schemes, seed, start, count)
-        return result, registry.dump(), obs.drain_spans()
+    with use_probe_implementation(probe_impl):
+        if not collect_metrics:
+            return run_shard(config, schemes, seed, start, count), None, None
+        with obs.collect() as registry:
+            with obs.span(
+                "engine.shard.compute", set_start=start, set_count=count
+            ):
+                result = run_shard(config, schemes, seed, start, count)
+            return result, registry.dump(), obs.drain_spans()
 
 
 def _encode_stats(result) -> dict:
@@ -309,6 +321,14 @@ class Engine:
         later runs resume from them.
     progress:
         Optional hook receiving one event dict per point/shard.
+    probe_impl:
+        Probe backend every shard evaluates under (and is keyed by in
+        the store).  ``None`` (default) resolves the ambient selection
+        (:func:`repro.partition.probe.probe_implementation`) at each
+        ``evaluate`` call, so ``with use_probe_implementation(...)``
+        around a sweep is honoured — including inside worker processes,
+        which receive the resolved name explicitly because contextvars
+        do not cross the pool boundary.
     """
 
     def __init__(
@@ -317,13 +337,20 @@ class Engine:
         jobs: int | None = 1,
         store: ResultStore | str | os.PathLike | None = None,
         progress: ProgressHook | None = None,
+        probe_impl: str | None = None,
     ) -> None:
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
+        if probe_impl is not None:
+            get_backend(probe_impl)  # fail fast on unknown names
         self.jobs = jobs
         self.store = store
         self.progress = progress
+        self.probe_impl = probe_impl
         self.stats = EngineRunStats()
+
+    def _resolved_impl(self) -> str:
+        return self.probe_impl or probe_implementation()
 
     # -- observability -------------------------------------------------
 
@@ -366,23 +393,29 @@ class Engine:
         jobs = os.cpu_count() or 1 if self.jobs is None else self.jobs
         return max(1, min(jobs, sets))
 
-    def _checkpoint(self, point: PointSpec, start: int, count: int, result) -> None:
+    def _checkpoint(
+        self, point: PointSpec, start: int, count: int, result, impl: str
+    ) -> None:
         if self.store is not None:
             with obs.span("engine.store.put"):
                 self.store.put(
-                    shard_key(point, start, count),
+                    shard_key(point, start, count, probe_impl=impl),
                     shard_kind(point.kind).encode(result),
                 )
 
     def _compute_missing(
-        self, point: PointSpec, missing: list[tuple[int, int]], jobs: int
+        self,
+        point: PointSpec,
+        missing: list[tuple[int, int]],
+        jobs: int,
+        impl: str,
     ) -> dict[int, object]:
         """Run the uncached shards, checkpointing each as it completes."""
         run_shard = shard_kind(point.kind).run
         results: dict[int, object] = {}
 
         def finish(start: int, count: int, result, seconds: float) -> None:
-            self._checkpoint(point, start, count, result)
+            self._checkpoint(point, start, count, result, impl)
             self._record_shard(seconds)
             results[start] = result
             self._emit(
@@ -392,13 +425,16 @@ class Engine:
         if jobs == 1 or len(missing) == 1:
             # Inline execution: metrics (if enabled) accumulate straight
             # into the parent registry — no transfer step needed.
-            for start, count in missing:
-                t0 = time.perf_counter()
-                with obs.span("engine.shard", set_start=start, set_count=count):
-                    result = run_shard(
-                        point.config, point.schemes, point.seed, start, count
-                    )
-                finish(start, count, result, time.perf_counter() - t0)
+            with use_probe_implementation(impl):
+                for start, count in missing:
+                    t0 = time.perf_counter()
+                    with obs.span(
+                        "engine.shard", set_start=start, set_count=count
+                    ):
+                        result = run_shard(
+                            point.config, point.schemes, point.seed, start, count
+                        )
+                    finish(start, count, result, time.perf_counter() - t0)
             return results
 
         collect_metrics = obs.OBS.enabled
@@ -415,6 +451,7 @@ class Engine:
                         start,
                         count,
                         collect_metrics,
+                        impl,
                     )
                     for start, count in missing
                 ]
@@ -443,7 +480,7 @@ class Engine:
                             set_start=start,
                             set_count=count,
                             retried=True,
-                        ):
+                        ), use_probe_implementation(impl):
                             result = run_shard(
                                 point.config, point.schemes, point.seed, start, count
                             )
@@ -487,6 +524,7 @@ class Engine:
         """
         with obs.span("engine.point", kind=point.kind, sets=point.sets):
             kind = shard_kind(point.kind)
+            impl = self._resolved_impl()
             jobs = self._effective_jobs(point.sets)
             shards = plan_shards(point.sets, jobs)
             self.stats.points += 1
@@ -497,7 +535,9 @@ class Engine:
             for start, count in shards:
                 if self.store is not None:
                     with obs.span("engine.store.get"):
-                        cached = self.store.get(shard_key(point, start, count))
+                        cached = self.store.get(
+                            shard_key(point, start, count, probe_impl=impl)
+                        )
                 else:
                     cached = None
                 if cached is not None:
@@ -516,7 +556,9 @@ class Engine:
                     missing.append((start, count))
 
             results.update(
-                self._compute_missing(point, missing, jobs) if missing else {}
+                self._compute_missing(point, missing, jobs, impl)
+                if missing
+                else {}
             )
             with obs.span("engine.merge", kind=point.kind):
                 ordered = [results[start] for start, _ in shards]
@@ -563,6 +605,9 @@ def run_experiment(
     jobs: int | None = 1,
     store: ResultStore | str | os.PathLike | None = None,
     progress: ProgressHook | None = None,
+    probe_impl: str | None = None,
 ) -> SweepArtifact:
     """One-shot convenience wrapper around :meth:`Engine.run`."""
-    return Engine(jobs=jobs, store=store, progress=progress).run(spec)
+    return Engine(
+        jobs=jobs, store=store, progress=progress, probe_impl=probe_impl
+    ).run(spec)

@@ -77,8 +77,17 @@ def _canonical(payload: dict) -> str:
     )
 
 
-def shard_key(point: PointSpec, start: int, count: int) -> str:
-    """The content hash addressing one shard of one data point."""
+def shard_key(
+    point: PointSpec, start: int, count: int, probe_impl: str = "batch"
+) -> str:
+    """The content hash addressing one shard of one data point.
+
+    ``probe_impl`` is part of the evaluation content: all probe backends
+    are pinned bit-identical, but a store must never answer a
+    ``--probe-impl`` run with shards computed under a different backend
+    — if a backend bug ever broke the equivalence, mixed caches would
+    mask it from the validate campaign instead of exposing it.
+    """
     content = {
         "schema_version": SCHEMA_VERSION,
         "repro_version": __version__,
@@ -88,6 +97,7 @@ def shard_key(point: PointSpec, start: int, count: int) -> str:
         "seed": point.seed,
         "start": start,
         "count": count,
+        "probe_impl": probe_impl,
     }
     return hashlib.sha256(_canonical(content).encode("utf-8")).hexdigest()
 

@@ -46,6 +46,8 @@ class Partition:
         "_level_mats",
         "_counts",
         "_util_cache",
+        "_core_seq",
+        "probe_state",
         "_frozen",
     )
 
@@ -63,6 +65,14 @@ class Partition:
         self._counts = np.zeros(self._cores, dtype=np.int64)
         # Per-rule caches of the Eq.-(9) core utilizations; nan = stale.
         self._util_cache: dict[str, np.ndarray] = {}
+        # Monotonic per-core mutation counters: every assign/unassign
+        # bumps the touched core, so any cache keyed by (core, version)
+        # can detect staleness without subscribing to mutations.
+        self._core_seq = np.zeros(self._cores, dtype=np.int64)
+        #: Namespace for probe-backend caches (e.g. the incremental
+        #: backend's per-core Theorem-1 state).  Values may implement
+        #: ``carried(n_prefix)`` to survive :meth:`extended`.
+        self.probe_state: dict[str, object] = {}
         self._frozen = False
 
     # ------------------------------------------------------------------
@@ -138,6 +148,60 @@ class Partition:
         crit = int(taskset.criticalities[task_index])
         mats = self._level_mats.copy()
         mats[:, crit - 1, :crit] += taskset.utilization_matrix[task_index, :crit]
+        return mats
+
+    def core_versions(self) -> np.ndarray:
+        """Read-only view of the per-core mutation counters: ``(M,)`` int64.
+
+        Each :meth:`assign`/:meth:`unassign` bumps exactly the mutated
+        core.  Probe backends snapshot this vector next to cached
+        per-core results; an entry whose stored version differs from the
+        current one is stale and must be recomputed.
+        """
+        view = self._core_seq[:]
+        view.setflags(write=False)
+        return view
+
+    def candidate_stack_for_cores(
+        self, task_index: int, cores: Sequence[int]
+    ) -> np.ndarray:
+        """Candidate matrices of ``task_index`` on a *subset* of cores.
+
+        ``(C, K, K)`` writable stack, entry ``c`` being the hypothetical
+        ``U^{Psi_{cores[c]} + tau_i}``.  Bit-identical to the matching
+        rows of :meth:`candidate_stack`; the incremental probe backend
+        uses it to recompute only the cores whose version moved.
+        """
+        sel = np.asarray(cores, dtype=np.int64)
+        taskset = self._taskset
+        crit = int(taskset.criticalities[task_index])
+        mats = self._level_mats[sel]  # advanced indexing: a fresh copy
+        mats[:, crit - 1, :crit] += taskset.utilization_matrix[task_index, :crit]
+        return mats
+
+    def candidate_pairs_stack(
+        self, task_indices: Sequence[int], core_indices: Sequence[int]
+    ) -> np.ndarray:
+        """Candidate matrices for explicit (task, core) pairs: ``(P, K, K)``.
+
+        ``task_indices`` and ``core_indices`` are parallel vectors; entry
+        ``p`` is ``U^{Psi_{core_p} + tau_{task_p}}``.  This is the flat
+        refresh primitive of the incremental backend: every stale
+        (task, core) hypothesis of a whole micro-batch goes through one
+        kernel call.  Exact for the same reason as
+        :meth:`candidate_stacks` — utilization rows are zero above each
+        task's criticality, so the full-row add touches only ``:crit``.
+        """
+        ti = np.asarray(task_indices, dtype=np.int64)
+        ci = np.asarray(core_indices, dtype=np.int64)
+        if ti.shape != ci.shape or ti.ndim != 1:
+            raise PartitionError(
+                "task_indices and core_indices must be parallel 1-D vectors"
+            )
+        taskset = self._taskset
+        mats = self._level_mats[ci]  # advanced indexing: a fresh copy
+        rows = taskset.criticalities[ti] - 1
+        mats[np.arange(ti.size), rows, :] += taskset.utilization_matrix[ti]
         return mats
 
     def candidate_stacks(self, task_indices: Sequence[int]) -> np.ndarray:
@@ -219,6 +283,7 @@ class Partition:
         finally:
             self._level_mats.setflags(write=False)
         self._counts[core] += 1
+        self._core_seq[core] += 1
         for cache in self._util_cache.values():
             cache[core] = np.nan
 
@@ -255,6 +320,7 @@ class Partition:
             self._level_mats[core] = fresh
         finally:
             self._level_mats.setflags(write=False)
+        self._core_seq[core] += 1
         for cache in self._util_cache.values():
             cache[core] = np.nan
         return core
@@ -282,6 +348,11 @@ class Partition:
         # Utilization caches stay writable: lazy cache fill is not a
         # logical mutation of the partition.
         snap._util_cache = {r: c.copy() for r, c in self._util_cache.items()}
+        snap._core_seq = self._core_seq.copy()
+        # Probe-backend caches are per-partition (they pair cached values
+        # with *this* object's version counters), so the snapshot starts
+        # cold; backends refill lazily, which is not a logical mutation.
+        snap.probe_state = {}
         snap._frozen = True
         return snap
 
@@ -313,6 +384,20 @@ class Partition:
         finally:
             part._level_mats.setflags(write=False)
         part._counts[:] = self._counts
+        # Version counters carry verbatim: the per-core matrices are the
+        # same, so probe caches keyed on them stay valid for the prefix
+        # tasks.  Backends decide what survives via carried(n_prefix)
+        # (rows for appended indices must be dropped — the index space
+        # above ``n`` now means different tasks than in any rebuilt
+        # sibling partition).
+        part._core_seq[:] = self._core_seq
+        for name, state in self.probe_state.items():
+            carried = getattr(state, "carried", None)
+            if carried is None:
+                continue
+            kept = carried(n)
+            if kept is not None:
+                part.probe_state[name] = kept
         return part
 
     # ------------------------------------------------------------------

@@ -4,19 +4,27 @@ Probes never mutate the partition; they build the hypothetical level
 matrix ``U_j^{Psi_m + tau_i}(k)`` by adding the task's utilization row to
 the core's cached matrix and evaluate the schedulability machinery on it.
 
-Two implementations coexist:
+The evaluation strategy is pluggable: this module holds the *selection*
+mechanism (a contextvar naming the active backend) and the public probe
+functions the schemes call, while the strategies themselves live in
+:mod:`repro.partition.backend`:
 
-* the **batch** path (default) builds all ``M`` candidate matrices in one
-  broadcasted ``(M, K, K)`` stack and evaluates them with
+* the **batch** backend (default) builds all ``M`` candidate matrices in
+  one broadcasted ``(M, K, K)`` stack and evaluates them with
   :mod:`repro.analysis.batch` in a single NumPy pass;
-* the **scalar** path evaluates one ``(K, K)`` matrix per core with
+* the **scalar** backend evaluates one ``(K, K)`` matrix per core with
   :mod:`repro.analysis.edfvd`, probing lazily in preference order where
-  the heuristics historically did.
+  the heuristics historically did;
+* the **incremental** backend caches probe rows on the partition next to
+  its per-core version counters and recomputes only the (task, core)
+  hypotheses whose core was mutated since the last probe — the admission
+  daemon's warm-state engine.
 
-Both produce bit-identical placement decisions (pinned by the test
-suite); :func:`use_probe_implementation` switches between them, which the
+All backends produce bit-identical placement decisions (pinned by the
+test suite and the ``repro-mc validate`` differential campaign);
+:func:`use_probe_implementation` switches between them, which the
 ``benchmarks/test_bench_probe_speed.py`` throughput benchmark uses to
-measure the speedup of the batch engine.
+measure the speedups.
 
 Instrumentation: when :data:`repro.obs.OBS` is enabled, every probe
 records how many candidate (task, core) hypotheses it evaluated, how
@@ -34,23 +42,20 @@ level.  Disabled, the entire layer is one branch per probe (pinned
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.analysis.batch import (
-    _available_utilizations,
-    _core_utilization_stack,
-    _is_feasible_stack,
-)
-from repro.analysis.edfvd import available_utilizations, core_utilization
-from repro.analysis.feasibility import is_feasible_core
 from repro.model.partition import Partition
-from repro.obs.runtime import OBS, add_span_time
-from repro.types import EPS, ModelError, fits_unit_capacity
+from repro.partition.backend import (
+    available_backends,
+    candidate_level_matrix,
+    get_backend,
+    probe_core_utilization,
+    probe_feasible,
+)
 
 __all__ = [
     "candidate_level_matrix",
@@ -65,10 +70,12 @@ __all__ = [
     "first_finite_probe",
     "probe_implementation",
     "use_probe_implementation",
+    "available_backends",
 ]
 
-#: Active probe implementation: "batch" (vectorized, default) or "scalar".
-#: A :class:`~contextvars.ContextVar`, not a module global: the selection
+#: Active probe backend name: "batch" (default), "scalar" or
+#: "incremental" (see :mod:`repro.partition.backend`).  A
+#: :class:`~contextvars.ContextVar`, not a module global: the selection
 #: is isolated per thread and per asyncio task, so a benchmark thread
 #: running scalar probes cannot flip a concurrent server handler (or the
 #: admission daemon's coordinator) onto the wrong engine mid-decision.
@@ -78,20 +85,22 @@ _ACTIVE_IMPLEMENTATION: ContextVar[str] = ContextVar(
 
 
 def probe_implementation() -> str:
-    """The currently active probe implementation (``"batch"``/``"scalar"``)."""
+    """The currently active probe backend name (e.g. ``"batch"``)."""
     return _ACTIVE_IMPLEMENTATION.get()
 
 
 @contextmanager
 def use_probe_implementation(impl: str) -> Iterator[None]:
-    """Select the probe implementation for the current context.
+    """Select the probe backend for the current context.
 
-    The selection is scoped to the current thread/async task (it rides
-    a :class:`~contextvars.ContextVar`), so concurrent contexts never
+    ``impl`` must name a registered backend
+    (:func:`repro.partition.backend.available_backends`); unknown names
+    raise :class:`repro.types.ModelError`.  The selection is scoped to
+    the current thread/async task (it rides a
+    :class:`~contextvars.ContextVar`), so concurrent contexts never
     observe each other's choice.
     """
-    if impl not in ("batch", "scalar"):
-        raise ModelError(f"unknown probe implementation {impl!r}")
+    get_backend(impl)  # validate eagerly: clean ReproError, not KeyError
     token = _ACTIVE_IMPLEMENTATION.set(impl)
     try:
         yield
@@ -99,120 +108,8 @@ def use_probe_implementation(impl: str) -> Iterator[None]:
         _ACTIVE_IMPLEMENTATION.reset(token)
 
 
-# ----------------------------------------------------------------------
-# Instrumentation recorders (touched only when OBS.enabled)
-# ----------------------------------------------------------------------
-def _tagged(name: str) -> str:
-    """Append the active scheme tag: ``theorem1.eq4_pass[ca-tpa]``."""
-    scheme = OBS.scheme
-    return f"{name}[{scheme}]" if scheme else name
-
-
-def _record_utilization_probe(impl: str, new_utils: np.ndarray) -> None:
-    """Count one Eq.-(15) probe evaluation and its infeasible cores."""
-    reg = OBS.registry
-    reg.counter(_tagged(f"probe.calls.{impl}")).inc()
-    reg.counter("probe.cores_probed").inc(int(new_utils.size))
-    reg.counter("probe.infeasible_cores").inc(
-        int(np.count_nonzero(~np.isfinite(new_utils)))
-    )
-
-
-def _record_feasibility_stack(stack: np.ndarray, feasible: np.ndarray) -> None:
-    """Attribute every core of a feasibility probe to its admission path.
-
-    ``eq4_pass`` counts cores admitted by the Eq.-(4) trace test alone;
-    ``admitted`` counts cores that failed Eq. (4) but passed the
-    Theorem-1 chain, broken down by the first condition ``k`` of
-    Ineq. (5) with non-negative available utilization;  ``rejected``
-    counts cores that failed both.
-    """
-    reg = OBS.registry
-    eq4 = fits_unit_capacity(np.trace(stack, axis1=1, axis2=2))
-    reg.counter(_tagged("theorem1.eq4_pass")).inc(int(np.count_nonzero(eq4)))
-    reg.counter(_tagged("theorem1.rejected")).inc(
-        int(np.count_nonzero(~feasible))
-    )
-    admitted = feasible & ~eq4
-    n_admitted = int(np.count_nonzero(admitted))
-    reg.counter(_tagged("theorem1.admitted")).inc(n_admitted)
-    if n_admitted:
-        avail = _available_utilizations(stack[admitted])
-        first = np.argmax(avail >= -EPS, axis=1)
-        for k in np.unique(first):
-            reg.counter(_tagged(f"theorem1.cond_pass.k{int(k) + 1}")).inc(
-                int(np.count_nonzero(first == k))
-            )
-
-
-def _record_scalar_feasibility(mat: np.ndarray, feasible: bool) -> None:
-    """Scalar twin of :func:`_record_feasibility_stack` (one core)."""
-    reg = OBS.registry
-    reg.counter(_tagged("probe.calls.scalar")).inc()
-    reg.counter("probe.cores_probed").inc()
-    eq4 = bool(fits_unit_capacity(float(np.trace(mat))))
-    if eq4:
-        reg.counter(_tagged("theorem1.eq4_pass")).inc()
-    elif feasible:
-        reg.counter(_tagged("theorem1.admitted")).inc()
-        avail = available_utilizations(mat)
-        k = int(np.argmax(avail >= -EPS))
-        reg.counter(_tagged(f"theorem1.cond_pass.k{k + 1}")).inc()
-    if not feasible:
-        reg.counter(_tagged("theorem1.rejected")).inc()
-
-
-# ----------------------------------------------------------------------
-# Scalar path (one core at a time)
-# ----------------------------------------------------------------------
-def candidate_level_matrix(
-    partition: Partition, core: int, task_index: int
-) -> np.ndarray:
-    """Level matrix of core ``core`` if ``task_index`` were added to it."""
-    taskset = partition.taskset
-    task = taskset[task_index]
-    mat = partition.level_matrix(core).copy()
-    crit = task.criticality
-    mat[crit - 1, :crit] += taskset.utilization_matrix[task_index, :crit]
-    return mat
-
-
-def probe_core_utilization(
-    partition: Partition, core: int, task_index: int, rule: str = "max"
-) -> float:
-    """Hypothetical new core utilization ``U^{Psi_m + tau_i}`` (Eq. (15)).
-
-    ``inf`` (:data:`repro.types.INFEASIBLE`) when the enlarged subset
-    fails Theorem 1, per Eq. (15a).  ``rule`` selects the Eq. (9)
-    aggregation (see :func:`repro.analysis.core_utilization`).
-    """
-    if OBS.enabled:
-        t0 = time.perf_counter()
-        new_util = core_utilization(
-            candidate_level_matrix(partition, core, task_index), rule=rule
-        )
-        add_span_time("probe", time.perf_counter() - t0)
-        reg = OBS.registry
-        reg.counter(_tagged("probe.calls.scalar")).inc()
-        reg.counter("probe.cores_probed").inc()
-        if not np.isfinite(new_util):
-            reg.counter("probe.infeasible_cores").inc()
-        return new_util
-    return core_utilization(
-        candidate_level_matrix(partition, core, task_index), rule=rule
-    )
-
-
-def probe_feasible(partition: Partition, core: int, task_index: int) -> bool:
-    """Would the enlarged subset pass the Eq.(4)-or-Theorem-1 test?"""
-    if OBS.enabled:
-        t0 = time.perf_counter()
-        mat = candidate_level_matrix(partition, core, task_index)
-        feasible = is_feasible_core(mat)
-        add_span_time("probe", time.perf_counter() - t0)
-        _record_scalar_feasibility(mat, feasible)
-        return feasible
-    return is_feasible_core(candidate_level_matrix(partition, core, task_index))
+def _active_backend():
+    return get_backend(_ACTIVE_IMPLEMENTATION.get())
 
 
 # ----------------------------------------------------------------------
@@ -234,51 +131,14 @@ def batch_probe(
 
     Entry ``m`` is the hypothetical ``U^{Psi_m + tau_i}`` (``inf`` where
     the enlarged subset is Theorem-1 infeasible, per Eq. (15a)).
+    Evaluated by the active backend (see :func:`probe_implementation`).
     """
-    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
-        # Counters accrue inside the scalar primitive, one per core.
-        return np.array(
-            [
-                probe_core_utilization(partition, m, task_index, rule=rule)
-                for m in range(partition.cores)
-            ],
-            dtype=np.float64,
-        )
-    if rule not in ("max", "min"):
-        raise ModelError(f"unknown Eq. (9) rule {rule!r}; use 'max' or 'min'")
-    if OBS.enabled:
-        t0 = time.perf_counter()
-        new_utils = _core_utilization_stack(
-            partition.candidate_stack(task_index), rule
-        )
-        add_span_time("probe", time.perf_counter() - t0)
-        _record_utilization_probe("batch", new_utils)
-        return new_utils
-    return _core_utilization_stack(partition.candidate_stack(task_index), rule)
+    return _active_backend().probe(partition, task_index, rule=rule)
 
 
 def batch_probe_feasible(partition: Partition, task_index: int) -> np.ndarray:
     """Eq.(4)-or-Theorem-1 feasibility of the task on every core: ``(M,)``."""
-    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
-        # Counters accrue inside the scalar primitive, one per core.
-        return np.array(
-            [
-                probe_feasible(partition, m, task_index)
-                for m in range(partition.cores)
-            ],
-            dtype=bool,
-        )
-    if OBS.enabled:
-        t0 = time.perf_counter()
-        stack = partition.candidate_stack(task_index)
-        feasible = _is_feasible_stack(stack)
-        add_span_time("probe", time.perf_counter() - t0)
-        reg = OBS.registry
-        reg.counter(_tagged("probe.calls.batch")).inc()
-        reg.counter("probe.cores_probed").inc(int(feasible.size))
-        _record_feasibility_stack(stack, feasible)
-        return feasible
-    return _is_feasible_stack(partition.candidate_stack(task_index))
+    return _active_backend().probe_feasible(partition, task_index)
 
 
 # ----------------------------------------------------------------------
@@ -289,35 +149,13 @@ def batch_probe_tasks(
 ) -> np.ndarray:
     """Eq.-(15) probes of several tasks against every core: ``(T, M)``.
 
-    Row ``t`` is exactly :func:`batch_probe` of ``task_indices[t]`` (the
-    ``(T*M, K, K)`` stack goes through the same kernel, so results are
-    bit-identical) — but the whole micro-batch costs one NumPy pass.
-    This is the admission daemon's flush primitive.
+    Row ``t`` is exactly :func:`batch_probe` of ``task_indices[t]``
+    bit-for-bit, whichever backend is active — but the whole micro-batch
+    costs one kernel pass (batch) or one flat refresh of only the stale
+    (task, core) pairs (incremental).  This is the admission daemon's
+    flush primitive.
     """
-    idx = np.asarray(task_indices, dtype=np.int64)
-    cores = partition.cores
-    if idx.size == 0:
-        return np.empty((0, cores), dtype=np.float64)
-    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
-        return np.stack([batch_probe(partition, int(i), rule=rule) for i in idx])
-    if rule not in ("max", "min"):
-        raise ModelError(f"unknown Eq. (9) rule {rule!r}; use 'max' or 'min'")
-    if OBS.enabled:
-        t0 = time.perf_counter()
-        stacks = partition.candidate_stacks(idx)
-        flat = _core_utilization_stack(stacks.reshape((-1,) + stacks.shape[2:]), rule)
-        new_utils = flat.reshape(idx.size, cores)
-        add_span_time("probe", time.perf_counter() - t0)
-        reg = OBS.registry
-        reg.counter(_tagged("probe.calls.batch")).inc(int(idx.size))
-        reg.counter("probe.cores_probed").inc(int(new_utils.size))
-        reg.counter("probe.infeasible_cores").inc(
-            int(np.count_nonzero(~np.isfinite(new_utils)))
-        )
-        return new_utils
-    stacks = partition.candidate_stacks(idx)
-    flat = _core_utilization_stack(stacks.reshape((-1,) + stacks.shape[2:]), rule)
-    return flat.reshape(idx.size, cores)
+    return _active_backend().probe_tasks(partition, task_indices, rule=rule)
 
 
 def batch_probe_feasible_tasks(
@@ -326,30 +164,9 @@ def batch_probe_feasible_tasks(
     """Feasibility of several tasks on every core: boolean ``(T, M)``.
 
     Row ``t`` equals :func:`batch_probe_feasible` of ``task_indices[t]``
-    bit-for-bit; the batch path evaluates the whole micro-batch with one
-    stacked kernel call.
+    bit-for-bit under every backend.
     """
-    idx = np.asarray(task_indices, dtype=np.int64)
-    cores = partition.cores
-    if idx.size == 0:
-        return np.empty((0, cores), dtype=bool)
-    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
-        return np.stack([batch_probe_feasible(partition, int(i)) for i in idx])
-    if OBS.enabled:
-        t0 = time.perf_counter()
-        stacks = partition.candidate_stacks(idx)
-        flat_stack = stacks.reshape((-1,) + stacks.shape[2:])
-        flat = _is_feasible_stack(flat_stack)
-        feasible = flat.reshape(idx.size, cores)
-        add_span_time("probe", time.perf_counter() - t0)
-        reg = OBS.registry
-        reg.counter(_tagged("probe.calls.batch")).inc(int(idx.size))
-        reg.counter("probe.cores_probed").inc(int(feasible.size))
-        _record_feasibility_stack(flat_stack, flat)
-        return feasible
-    stacks = partition.candidate_stacks(idx)
-    flat = _is_feasible_stack(stacks.reshape((-1,) + stacks.shape[2:]))
-    return flat.reshape(idx.size, cores)
+    return _active_backend().probe_feasible_tasks(partition, task_indices)
 
 
 # ----------------------------------------------------------------------
@@ -362,22 +179,14 @@ def first_feasible_core(
 ) -> int | None:
     """First core in ``core_order`` on which the task is feasible.
 
-    The batch path evaluates all cores in one pass and scans the result;
-    the scalar path probes lazily in preference order (the historical
-    behaviour of FFD-like schemes).  ``None`` when no core fits.
+    The batch/incremental backends evaluate all cores in one pass and
+    scan the result; the scalar backend probes lazily in preference
+    order (the historical behaviour of FFD-like schemes).  ``None`` when
+    no core fits.
     """
-    if core_order is None:
-        core_order = range(partition.cores)
-    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
-        for m in core_order:
-            if probe_feasible(partition, int(m), task_index):
-                return int(m)
-        return None
-    feasible = batch_probe_feasible(partition, task_index)
-    for m in core_order:
-        if feasible[int(m)]:
-            return int(m)
-    return None
+    return _active_backend().first_feasible_core(
+        partition, task_index, core_order
+    )
 
 
 def first_finite_probe(
@@ -392,16 +201,6 @@ def first_finite_probe(
     fits nowhere.  Used by the min-utilization override and the ablation
     fit rules, which pick by preference order rather than by increment.
     """
-    if _ACTIVE_IMPLEMENTATION.get() == "scalar":
-        for m in core_order:
-            new_util = probe_core_utilization(
-                partition, int(m), task_index, rule=rule
-            )
-            if np.isfinite(new_util):
-                return int(m), new_util
-        return None, np.inf
-    new_utils = batch_probe(partition, task_index, rule=rule)
-    for m in core_order:
-        if np.isfinite(new_utils[int(m)]):
-            return int(m), float(new_utils[int(m)])
-    return None, np.inf
+    return _active_backend().first_finite_probe(
+        partition, task_index, core_order, rule=rule
+    )

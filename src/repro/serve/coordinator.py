@@ -10,8 +10,15 @@ handlers only enqueue work and await futures.  Each flush:
 * answers the flush's ``/place`` requests with **one** call into the
   stacked probe kernel (:func:`repro.partition.probe.batch_probe_tasks`
   over the whole micro-batch), then applies placements greedily in
-  arrival order, refreshing only the column of the core that just
-  changed for the remaining rows.
+  arrival order, re-probing the remaining rows after each assignment.
+
+Every flush runs under the coordinator's configured probe backend
+(``--probe-impl``, default ``incremental``): the live partition carries
+warm per-core Theorem-1 state across requests, so the post-assignment
+re-probe recomputes only the column of the core that just changed —
+every other (task, core) hypothesis answers from cache.  All backends
+are pinned bit-identical, so the placement decisions (and the
+``serve-offline`` oracle parity) do not depend on the choice.
 
 Placement rule: best fit by Eq. (15) — the feasible core whose new
 Eq.-(9) utilization is smallest (ties to the lowest core index), i.e.
@@ -22,11 +29,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.batch import _core_utilization_stack
 from repro.metrics.core import imbalance_factor
 from repro.model import MCTaskSet, Partition
 from repro.obs.runtime import OBS, span
-from repro.partition.probe import batch_probe_tasks
+from repro.partition.backend import get_backend
+from repro.partition.probe import batch_probe_tasks, use_probe_implementation
 from repro.partition.registry import get_partitioner
 from repro.serve.batcher import MicroBatcher, WorkItem
 from repro.serve.protocol import AdmitRequest, PlaceRequest, ProtocolError
@@ -44,10 +51,13 @@ class Coordinator:
         state: ServeState,
         batcher: MicroBatcher,
         rule: str = "max",
+        probe_impl: str = "incremental",
     ):
+        get_backend(probe_impl)  # fail fast on unknown names
         self.state = state
         self.batcher = batcher
         self.rule = rule
+        self.probe_impl = probe_impl
 
     async def run(self) -> None:
         """Flush batches until the batcher is closed and drained."""
@@ -56,16 +66,22 @@ class Coordinator:
 
     # ------------------------------------------------------------------
     def flush(self, batch: list[WorkItem]) -> None:
-        """Resolve every future of one micro-batch (synchronous)."""
+        """Resolve every future of one micro-batch (synchronous).
+
+        The whole flush — admission sweeps and placements alike — runs
+        under the configured probe backend; the selection rides a
+        contextvar, so concurrent readers are unaffected.
+        """
         if OBS.enabled:
             OBS.registry.summary("serve.batch_size").observe(float(len(batch)))
         places = [item for item in batch if item.kind == "place"]
         with span("serve.flush", batch=len(batch)):
-            for item in batch:
-                if item.kind == "admit":
-                    self._resolve(item, self._admit, item.request)
-            if places:
-                self._place_flush(places)
+            with use_probe_implementation(self.probe_impl):
+                for item in batch:
+                    if item.kind == "admit":
+                        self._resolve(item, self._admit, item.request)
+                if places:
+                    self._place_flush(places)
 
     @staticmethod
     def _resolve(item: WorkItem, fn, *args) -> None:
@@ -145,10 +161,13 @@ class Coordinator:
                 part.assign(task_index, core)
                 remaining = idx[t + 1 :]
                 if remaining:
-                    # Only the chosen core's column went stale; refresh it
-                    # for the rows still waiting (one small kernel call).
-                    utils[t + 1 :, core] = self._column_probe(
-                        part, core, remaining
+                    # Re-probe the rows still waiting through the active
+                    # backend.  Only the chosen core's column went stale,
+                    # which is exactly what the incremental backend
+                    # recomputes — the other columns answer from the
+                    # warm per-core state (bit-identical either way).
+                    utils[t + 1 :] = batch_probe_tasks(
+                        part, remaining, rule=self.rule
                     )
 
         accepted = [i for i, c in zip(idx, decisions) if c is not None]
@@ -207,16 +226,3 @@ class Coordinator:
             return None
         best = np.where(finite, row, np.inf)
         return int(np.argmin(best))  # argmin ties to the lowest index
-
-    def _column_probe(
-        self, part: Partition, core: int, task_indices: list[int]
-    ) -> np.ndarray:
-        """Probe ``task_indices`` against one core, vectorized."""
-        taskset = part.taskset
-        idx = np.asarray(task_indices, dtype=np.int64)
-        mats = np.broadcast_to(
-            part.level_matrix(core), (idx.size,) + part.level_matrix(core).shape
-        ).copy()
-        rows = taskset.criticalities[idx] - 1
-        mats[np.arange(idx.size), rows, :] += taskset.utilization_matrix[idx]
-        return _core_utilization_stack(mats, self.rule)

@@ -46,6 +46,9 @@ class ServeConfig:
     max_batch: int = 64
     backlog: int = 256
     rule: str = "max"
+    #: Probe backend the coordinator flushes under; ``incremental``
+    #: keeps Theorem-1 state warm across requests (the serve default).
+    probe_impl: str = "incremental"
     metrics_path: str | None = None
     log_json: str | None = None
     command: list[str] = field(default_factory=list)
@@ -56,13 +59,24 @@ class ServeDaemon:
 
     def __init__(self, config: ServeConfig):
         self.config = config
-        self.state = ServeState(cores=config.cores, levels=config.levels)
+        self.state = ServeState(
+            cores=config.cores,
+            levels=config.levels,
+            probe_impl=config.probe_impl,
+        )
         self.batcher = MicroBatcher(
             maxsize=config.backlog,
             window=config.window_ms / 1e3,
             max_batch=config.max_batch,
         )
-        self.coordinator = Coordinator(self.state, self.batcher, rule=config.rule)
+        # The Coordinator validates probe_impl eagerly: an unknown name
+        # fails here with a clean ReproError, before any socket binds.
+        self.coordinator = Coordinator(
+            self.state,
+            self.batcher,
+            rule=config.rule,
+            probe_impl=config.probe_impl,
+        )
         self.api = Api(self.state, self.batcher)
         self.server = HttpServer(self.api, config.host, config.port)
         self.run_id = new_run_id()

@@ -64,7 +64,12 @@ class Api:
                 "metrics": OBS.registry.snapshot(),
             }
         if path == "/healthz" and method == "GET":
-            return 200, {"ok": True, "seq": self.state.snapshot.seq}
+            snap = self.state.snapshot
+            return 200, {
+                "ok": True,
+                "seq": snap.seq,
+                "probe_impl": snap.probe_impl,
+            }
         if path in ("/admit", "/place", "/state", "/metrics", "/healthz"):
             raise ProtocolError(f"{method} not allowed on {path}", status=405)
         raise ProtocolError(f"no such endpoint: {path}", status=404)

@@ -34,6 +34,8 @@ class StateSnapshot:
     levels: int
     seq: int
     partition: Partition | None
+    #: Probe backend the coordinator places under (informational).
+    probe_impl: str = "incremental"
 
     @property
     def task_count(self) -> int:
@@ -52,6 +54,7 @@ class StateSnapshot:
             "levels": self.levels,
             "seq": self.seq,
             "tasks": self.task_count,
+            "probe_impl": self.probe_impl,
             "utilizations": utils.tolist(),
             "lambda": float(imbalance_factor(utils)),
         }
@@ -67,12 +70,19 @@ class StateSnapshot:
 class ServeState:
     """Holder of the live partition plus its published snapshot."""
 
-    def __init__(self, cores: int, levels: int = 2):
+    def __init__(
+        self, cores: int, levels: int = 2, probe_impl: str = "incremental"
+    ):
         self.cores = int(cores)
         self.levels = int(levels)
+        self.probe_impl = str(probe_impl)
         self._partition: Partition | None = None
         self._snapshot = StateSnapshot(
-            cores=self.cores, levels=self.levels, seq=0, partition=None
+            cores=self.cores,
+            levels=self.levels,
+            seq=0,
+            partition=None,
+            probe_impl=self.probe_impl,
         )
 
     @property
@@ -97,6 +107,7 @@ class ServeState:
             levels=self.levels,
             seq=self._snapshot.seq + 1,
             partition=partition.snapshot(),
+            probe_impl=self.probe_impl,
         )
         self._snapshot = snap
         return snap

@@ -16,8 +16,8 @@ The registry is deliberately open: downstream experiments can
 Built-in oracles
 ----------------
 ``probe-scalar-batch``
-    The scalar and batch probe engines make bit-identical placement
-    decisions for every scheme.
+    The scalar, batch, and incremental probe backends make bit-identical
+    placement decisions for every scheme.
 ``theorem1-eq7-k2``
     At ``K = 2``, Ineq. (5) (Theorem 1) agrees with the classical
     dual-criticality test Eq. (7) on every core's level matrix.
@@ -193,26 +193,28 @@ def get_oracle(name: str) -> Oracle:
 
 @register_oracle(
     "probe-scalar-batch",
-    "scalar and batch probe engines make identical placement decisions",
+    "scalar, batch, and incremental probe backends make identical decisions",
 )
 def _check_probe_equivalence(case: ValidationCase) -> list[str]:
     failures = []
     batch = case.scheme_results()
-    with use_probe_implementation("scalar"):
-        for spec in case.schemes:
-            b = batch[spec.label]
-            s = spec.build().partition(case.taskset, case.config.cores)
-            if (
-                s.schedulable != b.schedulable
-                or s.failed_task != b.failed_task
-                or not np.array_equal(s.assignment, b.assignment)
-            ):
-                failures.append(
-                    f"{spec.label}: scalar/batch probes disagree "
-                    f"(schedulable {s.schedulable}/{b.schedulable}, "
-                    f"failed_task {s.failed_task}/{b.failed_task}, "
-                    f"assignment {s.assignment.tolist()} vs {b.assignment.tolist()})"
-                )
+    for impl in ("scalar", "incremental"):
+        with use_probe_implementation(impl):
+            for spec in case.schemes:
+                b = batch[spec.label]
+                s = spec.build().partition(case.taskset, case.config.cores)
+                if (
+                    s.schedulable != b.schedulable
+                    or s.failed_task != b.failed_task
+                    or not np.array_equal(s.assignment, b.assignment)
+                ):
+                    failures.append(
+                        f"{spec.label}: {impl}/batch probes disagree "
+                        f"(schedulable {s.schedulable}/{b.schedulable}, "
+                        f"failed_task {s.failed_task}/{b.failed_task}, "
+                        f"assignment {s.assignment.tolist()} "
+                        f"vs {b.assignment.tolist()})"
+                    )
     return failures
 
 

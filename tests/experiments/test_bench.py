@@ -9,7 +9,13 @@ import pytest
 from repro import bench
 
 
-def _measured(pps=10_000.0, speedup=3.0, overhead=1.01):
+def _measured(
+    pps=10_000.0,
+    speedup=3.0,
+    overhead=1.01,
+    inc_pps=3_000_000.0,
+    inc_speedup=3.2,
+):
     return {
         "benchmark": "probe-throughput-quick",
         "sets": 2,
@@ -18,6 +24,19 @@ def _measured(pps=10_000.0, speedup=3.0, overhead=1.01):
         "batch": {"seconds": 0.01, "probes_per_sec": pps},
         "scalar": {"seconds": 0.03, "probes_per_sec": pps / speedup},
         "speedup": speedup,
+        "placement": {
+            "benchmark": "placement-loop",
+            "sets": 2,
+            "seed": 2016,
+            "task_count_range": list(bench.PLACEMENT_TASK_RANGE),
+            "hypotheses": 100_000,
+            "batch": {
+                "seconds": 0.1,
+                "probes_per_sec": inc_pps / inc_speedup,
+            },
+            "incremental": {"seconds": 0.03, "probes_per_sec": inc_pps},
+            "speedup": inc_speedup,
+        },
         "disabled_overhead_ratio": overhead,
         "overhead_samples": 8,
     }
@@ -28,7 +47,16 @@ def baselines(tmp_path):
     """Committed-baseline stand-ins: 12000 pps, 3x speedup, 1.01 overhead."""
     (tmp_path / bench.PARTITION_BASELINE).write_text(
         json.dumps(
-            {"probe": {"batch": {"probes_per_sec": 12_000.0}, "speedup": 3.0}}
+            {
+                "probe": {
+                    "batch": {"probes_per_sec": 12_000.0},
+                    "speedup": 3.0,
+                },
+                "placement": {
+                    "incremental": {"probes_per_sec": 3_000_000.0},
+                    "speedup": 3.2,
+                },
+            }
         )
     )
     (tmp_path / bench.OVERHEAD_BASELINE).write_text(
@@ -73,6 +101,37 @@ class TestCompare:
         )
         assert strict and not loose
 
+    def test_incremental_throughput_regression_fails(self, baselines):
+        failures, _ = bench.compare_against_baselines(
+            _measured(inc_pps=100_000.0),
+            baselines,
+            gate_ratio=0.5,
+            overhead_gate=1.10,
+        )
+        assert any("incremental probes/sec" in f for f in failures)
+
+    def test_incremental_slower_than_batch_fails(self, baselines):
+        # 0.9x "speedup" clears gate_ratio x committed (0.4 x 3.2) but
+        # not the absolute incremental >= batch floor.
+        failures, _ = bench.compare_against_baselines(
+            _measured(inc_speedup=0.9),
+            baselines,
+            gate_ratio=0.4,
+            overhead_gate=1.10,
+        )
+        assert any("incremental/batch speedup" in f for f in failures)
+
+    def test_missing_placement_section_is_a_failure(self, baselines):
+        stale = json.loads(
+            (baselines / bench.PARTITION_BASELINE).read_text()
+        )
+        del stale["placement"]
+        (baselines / bench.PARTITION_BASELINE).write_text(json.dumps(stale))
+        failures, _ = bench.compare_against_baselines(
+            _measured(), baselines, gate_ratio=0.5, overhead_gate=1.10
+        )
+        assert any("placement" in f for f in failures)
+
     def test_missing_baselines_are_failures(self, tmp_path):
         failures, lines = bench.compare_against_baselines(
             _measured(), tmp_path, gate_ratio=0.5, overhead_gate=1.10
@@ -97,3 +156,8 @@ class TestRunProbeBench:
         assert measured["scalar"]["probes_per_sec"] > 0
         assert measured["speedup"] > 0
         assert measured["disabled_overhead_ratio"] > 0
+        placement = measured["placement"]
+        assert placement["hypotheses"] > 0
+        assert placement["batch"]["probes_per_sec"] > 0
+        assert placement["incremental"]["probes_per_sec"] > 0
+        assert placement["speedup"] > 0

@@ -126,6 +126,52 @@ class TestParser:
         assert args.overhead_gate == 1.2
         assert args.baseline_dir == "baselines"
 
+    def test_probe_impl_round_trips(self):
+        args = cli.build_parser().parse_args(
+            ["fig1", "--probe-impl", "incremental"]
+        )
+        assert args.probe_impl == "incremental"
+        # Default: defer to the library's contextvar default.
+        assert cli.build_parser().parse_args(["fig1"]).probe_impl is None
+
+
+class TestProbeImpl:
+    def test_unknown_backend_exits_two_with_clean_message(self, capsys):
+        assert cli.main(["fig1", "--sets", "2", "--probe-impl", "simd"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown probe implementation 'simd'" in err
+        assert "available" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("impl", ["scalar", "incremental"])
+    def test_backend_artifact_matches_default_run(self, tiny_fig1, capsys, impl):
+        base_dir = tiny_fig1 / "default"
+        impl_dir = tiny_fig1 / impl
+        argv = ["fig1", "--sets", "2", "--no-store", "--json"]
+        assert cli.main(argv + [str(base_dir)]) == 0
+        assert cli.main(argv + [str(impl_dir), "--probe-impl", impl]) == 0
+        assert (base_dir / "fig1.json").read_text() == (
+            impl_dir / "fig1.json"
+        ).read_text()
+
+    def test_validate_accepts_probe_impl(self, capsys):
+        assert (
+            cli.main(
+                [
+                    "validate",
+                    "--sets",
+                    "2",
+                    "--seed",
+                    "0",
+                    "--no-store",
+                    "--probe-impl",
+                    "incremental",
+                ]
+            )
+            == 0
+        )
+        assert "all green" in capsys.readouterr().out
+
 
 class TestMain:
     def test_fig1_tiny_run_exits_zero_with_markers(self, tiny_fig1, capsys):

@@ -1,0 +1,333 @@
+"""The pluggable probe-backend layer: registry, protocol, Δ-state.
+
+Pins the tentpole guarantees of the backend refactor:
+
+* the registry resolves by name and rejects unknown names with a clean
+  :class:`~repro.types.ReproError` (never a bare ``KeyError``);
+* the incremental backend is bit-identical to batch across arbitrary
+  ``assign``/``unassign``/``extended`` interleavings — its warm per-core
+  state must be indistinguishable from a from-scratch rebuild;
+* invalidation: ``unassign`` bumps the mutated core's version, so a
+  warm cache can never serve the pre-unassign column (the PR-6
+  warm-prefix regression);
+* observability: cached columns count as cache hits, only fresh kernel
+  work counts as ``probe.cores_probed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import MCTask, MCTaskSet, Partition
+from repro.obs import runtime as obs
+from repro.partition.backend import (
+    BatchBackend,
+    IncrementalBackend,
+    ProbeBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.partition.probe import (
+    batch_probe,
+    batch_probe_feasible,
+    batch_probe_feasible_tasks,
+    batch_probe_tasks,
+    first_feasible_core,
+    first_finite_probe,
+    use_probe_implementation,
+)
+from repro.types import EPS, ModelError, ReproError, fits_unit_capacity
+from tests.conftest import make_task, random_taskset
+
+BATCH = BatchBackend()
+INCREMENTAL = IncrementalBackend()
+
+
+def fresh_rebuild(partition: Partition) -> Partition:
+    """A from-scratch partition with the same assignment (cold caches)."""
+    return Partition.from_assignment(
+        partition.taskset, partition.cores, partition.assignment
+    )
+
+
+def assert_backend_parity(part: Partition, idx: list[int]) -> None:
+    """Incremental answers (warm state) == batch answers on a rebuild."""
+    cold = fresh_rebuild(part)
+    for i in idx:
+        np.testing.assert_array_equal(
+            INCREMENTAL.probe(part, i), BATCH.probe(cold, i)
+        )
+        np.testing.assert_array_equal(
+            INCREMENTAL.probe_feasible(part, i),
+            BATCH.probe_feasible(cold, i),
+        )
+    if idx:
+        np.testing.assert_array_equal(
+            INCREMENTAL.probe_tasks(part, idx),
+            BATCH.probe_tasks(cold, idx),
+        )
+        np.testing.assert_array_equal(
+            INCREMENTAL.probe_feasible_tasks(part, idx),
+            BATCH.probe_feasible_tasks(cold, idx),
+        )
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        assert available_backends() == ("batch", "incremental", "scalar")
+
+    def test_get_backend_returns_named_instance(self):
+        for name in available_backends():
+            assert get_backend(name).name == name
+
+    def test_unknown_name_is_a_repro_error(self):
+        with pytest.raises(ReproError, match="unknown probe implementation"):
+            get_backend("simd")
+
+    def test_unknown_name_is_not_a_key_error(self):
+        try:
+            get_backend("simd")
+        except KeyError:  # pragma: no cover - the bug this test pins
+            pytest.fail("get_backend leaked a KeyError")
+        except ReproError as exc:
+            assert "available" in str(exc)
+
+    def test_use_probe_implementation_validates_eagerly(self):
+        with pytest.raises(ModelError):
+            with use_probe_implementation("simd"):
+                pass
+
+    def test_register_requires_a_name(self):
+        class Anonymous(ProbeBackend):
+            def probe(self, partition, task_index, rule="max"):
+                raise NotImplementedError
+
+            def probe_feasible(self, partition, task_index):
+                raise NotImplementedError
+
+            def probe_tasks(self, partition, task_indices, rule="max"):
+                raise NotImplementedError
+
+            def probe_feasible_tasks(self, partition, task_indices):
+                raise NotImplementedError
+
+        with pytest.raises(ModelError, match="name"):
+            register_backend(Anonymous())
+
+
+class TestIncrementalEquivalence:
+    """Warm incremental state == cold batch rebuild, under any mutation."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_assign_unassign_interleaving(self, seed):
+        rng = np.random.default_rng(seed)
+        ts = random_taskset(rng, n=14, levels=3, max_u=0.4)
+        part = Partition(ts, cores=4)
+        unplaced = list(range(len(ts)))
+        for _ in range(60):
+            action = rng.random()
+            assigned = [i for i in range(len(ts)) if part.core_of(i) >= 0]
+            if action < 0.6 and unplaced:
+                i = unplaced.pop(int(rng.integers(len(unplaced))))
+                part.assign(i, int(rng.integers(4)))
+            elif assigned:
+                i = assigned[int(rng.integers(len(assigned)))]
+                part.unassign(i)
+                unplaced.append(i)
+            probe_idx = (unplaced + assigned)[:5]
+            assert_backend_parity(part, probe_idx)
+
+    @pytest.mark.parametrize("rule", ["max", "min"])
+    def test_rules_are_cached_independently(self, rng, rule):
+        ts = random_taskset(rng, n=10, levels=2, max_u=0.5)
+        part = Partition(ts, cores=3)
+        # Warm both rule caches, mutate, re-probe: each rule must see
+        # the mutation (a shared cache row would leak the other rule's
+        # values or the stale ones).
+        INCREMENTAL.probe(part, 0, rule="max")
+        INCREMENTAL.probe(part, 0, rule="min")
+        part.assign(1, 0)
+        got = INCREMENTAL.probe(part, 0, rule=rule)
+        want = BATCH.probe(fresh_rebuild(part), 0, rule=rule)
+        np.testing.assert_array_equal(got, want)
+
+    def test_repeated_probe_is_stable(self, rng):
+        ts = random_taskset(rng, n=8)
+        part = Partition(ts, cores=3)
+        part.assign(0, 1)
+        first = INCREMENTAL.probe(part, 2)
+        second = INCREMENTAL.probe(part, 2)
+        np.testing.assert_array_equal(first, second)
+        # Returned rows are copies: the caller cannot poison the cache.
+        first[:] = -1.0
+        np.testing.assert_array_equal(INCREMENTAL.probe(part, 2), second)
+
+    def test_duplicate_task_indices_in_micro_batch(self, rng):
+        ts = random_taskset(rng, n=8)
+        part = Partition(ts, cores=3)
+        part.assign(0, 0)
+        got = INCREMENTAL.probe_tasks(part, [2, 2, 3])
+        want = BATCH.probe_tasks(fresh_rebuild(part), [2, 2, 3])
+        np.testing.assert_array_equal(got, want)
+
+    def test_preference_order_scans_match_all_backends(self, rng):
+        for _ in range(10):
+            ts = random_taskset(rng, n=10, levels=3, max_u=0.6)
+            parts = {}
+            for name in available_backends():
+                p = Partition(ts, cores=4)
+                p.assign(0, 2)
+                parts[name] = p
+            order = list(np.argsort(rng.random(4)))
+            answers = set()
+            probes = set()
+            for name, p in parts.items():
+                with use_probe_implementation(name):
+                    answers.add(first_feasible_core(p, 1, order))
+                    probes.add(first_finite_probe(p, 1, order))
+            assert len(answers) == 1
+            assert len(probes) == 1
+
+
+class TestInvalidation:
+    """The satellite-2 regression: unassign must invalidate warm state."""
+
+    def test_unassign_then_probe_same_core(self, rng):
+        ts = random_taskset(rng, n=10, levels=3, max_u=0.4)
+        part = Partition(ts, cores=3)
+        for i in range(6):
+            part.assign(i, i % 3)
+        warm = INCREMENTAL.probe(part, 7)  # warm every column
+        part.unassign(3)  # core 0 shrinks
+        got = INCREMENTAL.probe(part, 7)
+        want = BATCH.probe(fresh_rebuild(part), 7)
+        np.testing.assert_array_equal(got, want)
+        assert not np.array_equal(got, warm) or np.array_equal(
+            want, warm
+        )  # if values moved, the cache must have moved with them
+
+    def test_unassign_then_candidate_stacks_on_warm_prefix(self, rng):
+        """unassign + probes on an ``extended`` (warm-prefix) partition.
+
+        The PR-6 warm-prefix path carries level matrices and version
+        counters verbatim; a missed version bump in ``unassign`` would
+        let the carried cache answer with the pre-unassign column.
+        """
+        ts = random_taskset(rng, n=8, levels=2, max_u=0.4)
+        part = Partition(ts, cores=3)
+        for i in range(8):
+            part.assign(i, i % 3)
+        INCREMENTAL.probe_tasks(part, list(range(8)))  # warm the table
+        grown = MCTaskSet(
+            list(ts) + [make_task([0.1, 0.2], period=50.0, name="new")],
+            levels=2,
+        )
+        ext = part.extended(grown)
+        ext.unassign(0)  # mutate a prefix core under the carried cache
+        np.testing.assert_array_equal(
+            INCREMENTAL.probe_tasks(ext, list(range(9))),
+            BATCH.probe_tasks(fresh_rebuild(ext), list(range(9))),
+        )
+        np.testing.assert_array_equal(
+            ext.candidate_stacks(np.arange(9)),
+            fresh_rebuild(ext).candidate_stacks(np.arange(9)),
+        )
+
+    def test_snapshot_starts_cold_and_stays_consistent(self, rng):
+        ts = random_taskset(rng, n=6)
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        INCREMENTAL.probe(part, 1)
+        snap = part.snapshot()
+        assert snap.probe_state == {}
+        np.testing.assert_array_equal(
+            INCREMENTAL.probe(snap, 1), BATCH.probe(fresh_rebuild(part), 1)
+        )
+
+    def test_extended_drops_rows_of_appended_indices(self, rng):
+        """Index ``n`` in the grown set is a *different* task."""
+        ts = random_taskset(rng, n=4, levels=2, max_u=0.3)
+        part = Partition(ts, cores=2)
+        part.assign(0, 0)
+        part.assign(1, 1)
+        # Warm a row for every index, including 2 and 3 (unassigned).
+        INCREMENTAL.probe_tasks(part, [0, 1, 2, 3])
+        heavy = make_task([0.6, 0.9], period=10.0, name="heavy")
+        grown = MCTaskSet(list(ts)[:4] + [heavy], levels=2)
+        ext = part.extended(grown)
+        got = INCREMENTAL.probe(ext, 4)
+        want = BATCH.probe(fresh_rebuild(ext), 4)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestObservability:
+    def test_cache_hits_and_fresh_work_are_separated(self, rng):
+        ts = random_taskset(rng, n=8)
+        part = Partition(ts, cores=4)
+        with obs.collect() as registry:
+            INCREMENTAL.probe(part, 0)  # 4 fresh columns
+            INCREMENTAL.probe(part, 0)  # 4 cached columns
+            part.assign(1, 2)
+            INCREMENTAL.probe(part, 0)  # 1 fresh, 3 cached
+            counters = registry.snapshot()["counters"]
+        assert counters["probe.calls.incremental"] == 3
+        assert counters["probe.cores_probed"] == 5
+        assert counters["probe.cache_hits.incremental"] == 7
+
+    def test_micro_batch_counts_rows_as_calls(self, rng):
+        ts = random_taskset(rng, n=8)
+        part = Partition(ts, cores=2)
+        with obs.collect() as registry:
+            INCREMENTAL.probe_tasks(part, [0, 1, 2])
+            counters = registry.snapshot()["counters"]
+        assert counters["probe.calls.incremental"] == 3
+        assert counters["probe.cores_probed"] == 6
+
+    def test_plain_probe_functions_route_through_contextvar(self, rng):
+        ts = random_taskset(rng, n=6)
+        part = Partition(ts, cores=2)
+        with use_probe_implementation("incremental"):
+            with obs.collect() as registry:
+                batch_probe(part, 0)
+                batch_probe_feasible(part, 0)
+                batch_probe_tasks(part, [1, 2])
+                batch_probe_feasible_tasks(part, [1, 2])
+                counters = registry.snapshot()["counters"]
+        assert counters["probe.calls.incremental"] == 6
+
+
+class TestEpsBoundary:
+    """fits_unit_capacity boundary: probes at exactly 1.0 +/- eps."""
+
+    def _single_core_probe(self, util: float) -> np.ndarray:
+        ts = MCTaskSet(
+            [make_task([util], period=10.0, name="a")], levels=1
+        )
+        part = Partition(ts, cores=1)
+        return INCREMENTAL.probe_feasible(part, 0)
+
+    def test_exactly_unit_capacity_is_feasible(self):
+        assert fits_unit_capacity(1.0)
+        assert self._single_core_probe(1.0).all()
+
+    def test_within_eps_above_unit_is_feasible(self):
+        assert fits_unit_capacity(1.0 + EPS / 2)
+        assert self._single_core_probe(1.0 + EPS / 2).all()
+
+    def test_clearly_above_unit_is_infeasible(self):
+        assert not fits_unit_capacity(1.0 + 1e-6)
+        assert not self._single_core_probe(1.0 + 1e-6).any()
+
+    def test_boundary_agrees_across_backends(self):
+        for util in (1.0 - EPS, 1.0, 1.0 + EPS / 2, 1.0 + 4 * EPS, 1.01):
+            ts = MCTaskSet(
+                [make_task([util], period=10.0, name="a")], levels=1
+            )
+            answers = set()
+            for name in available_backends():
+                part = Partition(ts, cores=2)
+                with use_probe_implementation(name):
+                    answers.add(batch_probe_feasible(part, 0).tobytes())
+            assert len(answers) == 1

@@ -10,12 +10,13 @@ from repro.serve.batcher import MicroBatcher, WorkItem
 from repro.serve.coordinator import Coordinator
 from repro.serve.protocol import AdmitRequest, PlaceRequest, ProtocolError
 from repro.serve.state import ServeState
+from repro.types import ReproError
 from tests.conftest import make_task, random_taskset
 
 
-def make_coordinator(cores=2, levels=2):
-    state = ServeState(cores=cores, levels=levels)
-    return Coordinator(state, MicroBatcher()), state
+def make_coordinator(cores=2, levels=2, probe_impl="incremental"):
+    state = ServeState(cores=cores, levels=levels, probe_impl=probe_impl)
+    return Coordinator(state, MicroBatcher(), probe_impl=probe_impl), state
 
 
 def flush_one(coordinator, kind, request):
@@ -134,6 +135,43 @@ class TestPlace:
         with pytest.raises(ProtocolError, match="K=2"):
             future.result()
         assert state.partition is None
+
+    def test_backend_choice_never_moves_a_placement(self):
+        """Incremental (warm state across flushes) == batch, decision-level."""
+        tasks = [
+            make_task([u, min(1.9 * u, 0.9)], name=f"t{i}")
+            for i, u in enumerate(
+                [0.3, 0.25, 0.4, 0.2, 0.35, 0.15, 0.5, 0.1, 0.45, 0.2]
+            )
+        ]
+        outcomes = []
+        for impl in ("batch", "incremental"):
+            coordinator, state = make_coordinator(cores=3, probe_impl=impl)
+            bodies = []
+            # Several flushes against the same live state: the second
+            # and later ones hit the carried-over warm state.
+            for chunk in (tasks[:4], tasks[4:7], tasks[7:]):
+                bodies += flush_many(
+                    coordinator, [("place", PlaceRequest(t)) for t in chunk]
+                )
+            outcomes.append(
+                (
+                    [(b["accepted"], b["core"]) for b in bodies],
+                    state.partition.assignment.tolist(),
+                    state.partition.level_matrices().tolist(),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_unknown_probe_impl_rejected_at_construction(self):
+        with pytest.raises(ReproError, match="unknown probe implementation"):
+            Coordinator(ServeState(cores=2), MicroBatcher(), probe_impl="simd")
+
+    def test_default_backend_is_incremental(self):
+        coordinator, state = make_coordinator()
+        assert coordinator.probe_impl == "incremental"
+        assert state.snapshot.probe_impl == "incremental"
+        assert state.snapshot.to_dict()["probe_impl"] == "incremental"
 
     def test_mixed_admit_and_place_flush(self):
         ts = random_taskset(np.random.default_rng(3), n=5)

@@ -131,7 +131,7 @@ class TestProbeEquivalenceOracle:
         # oracle must notice the scalar/batch divergence, proving it
         # exercises both engines rather than comparing batch to itself.
         monkeypatch.setattr(
-            "repro.partition.probe.is_feasible_core", lambda mat: False
+            "repro.partition.backend.is_feasible_core", lambda mat: False
         )
         case = make_case(DUAL_CONFIG, (), seed=3, index=0)
         messages = get_oracle("probe-scalar-batch").check(case)
