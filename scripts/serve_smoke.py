@@ -11,11 +11,26 @@ ISSUE acceptance criteria from the outside:
     queries sustains at least ``SERVE_SMOKE_MIN_QPS`` queries/s
     (default 1000) *and* the queries actually coalesce
     (``serve.batch_size`` p50 > 1 in the exported metrics).
-3.  **Graceful shutdown** — SIGINT drains the queue, the process exits
+3.  **Live telemetry** — while the daemon is still serving:
+    ``GET /metrics?format=prometheus`` parses as text exposition 0.0.4
+    with ordered histogram buckets, ``GET /metrics/history`` returns
+    the versioned windowed series (saved as the ``windowed-metrics``
+    CI artifact), and ``repro-mc top --once <url>`` renders a frame.
+4.  **Graceful shutdown** — SIGINT drains the queue, the process exits
     0, and the metrics dump + run manifest are written.
+5.  **SLO gate** — the daemon runs with ``--slo`` rules; the exported
+    dump must report zero alerts and no failing rules (exit 1 here
+    otherwise — this is the CI exit-code gate).
+6.  **Trace tree** — the events.jsonl span stream forms one rooted
+    tree (single ``serve.run`` root, zero orphans) with one
+    ``serve.request`` span per burst query, each parented to a
+    ``serve.flush`` span, and ``queue_wait + kernel + apply``
+    reconciling with the span's own duration.
 
 Environment overrides: ``SERVE_SMOKE_MIN_QPS``, ``SERVE_SMOKE_PLACES``,
-``SERVE_SMOKE_THREADS``.
+``SERVE_SMOKE_THREADS``, ``SERVE_SMOKE_SLO_PLACE`` (the place-latency
+SLO rule), ``SERVE_SMOKE_ARTIFACT_DIR`` (where the windowed-metrics
+artifact lands; default: the run's temp dir, i.e. discarded).
 
 Run from the repo root (package installed, or ``PYTHONPATH=src``):
 
@@ -49,27 +64,42 @@ MIN_QPS = float(os.environ.get("SERVE_SMOKE_MIN_QPS", "1000"))
 PLACES = int(os.environ.get("SERVE_SMOKE_PLACES", "2000"))
 THREADS = int(os.environ.get("SERVE_SMOKE_THREADS", "16"))
 CORES = 4
+#: The place-latency SLO is machine-sensitive (queue wait scales with
+#: batch size), so the committed default is deliberately loose; tighten
+#: it locally via the env var.  The 503 rule is exact everywhere.
+SLO_RULES = [
+    os.environ.get("SERVE_SMOKE_SLO_PLACE", "p95(serve.place.seconds) < 250ms"),
+    "rate(serve.rejected_503) == 0",
+]
+ARTIFACT_DIR = os.environ.get("SERVE_SMOKE_ARTIFACT_DIR")
 
 _LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
 
 
-def start_daemon(metrics_path: Path) -> tuple[subprocess.Popen, str, int]:
+def start_daemon(
+    metrics_path: Path, events_path: Path
+) -> tuple[subprocess.Popen, str, int]:
     """Launch ``repro-mc serve`` and wait for the listening banner."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--cores",
+        str(CORES),
+        "--port",
+        "0",
+        "--window-ms",
+        "2",
+        "--metrics",
+        str(metrics_path),
+        "--log-json",
+        str(events_path),
+    ]
+    for rule in SLO_RULES:
+        argv += ["--slo", rule]
     proc = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.cli",
-            "serve",
-            "--cores",
-            str(CORES),
-            "--port",
-            "0",
-            "--window-ms",
-            "2",
-            "--metrics",
-            str(metrics_path),
-        ],
+        argv,
         stderr=subprocess.PIPE,
         text=True,
         env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
@@ -197,6 +227,156 @@ def run_place_burst(host: str, port: int) -> dict:
     return {"accepted": accepted, "rejected": rejected, "qps": qps}
 
 
+def request_text(host: str, port: int, path: str) -> tuple[int, str, str]:
+    """GET returning (status, content-type, raw body) — for non-JSON."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return (
+            resp.status,
+            resp.getheader("Content-Type", ""),
+            resp.read().decode("utf-8"),
+        )
+    finally:
+        conn.close()
+
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?(\d|\+Inf|NaN)"
+)
+
+
+def check_prometheus(host: str, port: int) -> None:
+    """``/metrics?format=prometheus`` must parse as text exposition."""
+    status, ctype, body = request_text(
+        host, port, "/metrics?format=prometheus"
+    )
+    assert status == 200, f"prometheus scrape: HTTP {status}"
+    assert "text/plain" in ctype and "0.0.4" in ctype, ctype
+    families: set[str] = set()
+    for line in body.splitlines():
+        if not line:
+            continue
+        if line.startswith("# "):
+            kind, name = line.split()[1:3]
+            assert kind in ("HELP", "TYPE"), line
+            families.add(name)
+            continue
+        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
+    for required in ("serve_requests_total", "serve_place_seconds"):
+        assert required in families, f"{required} missing from {families}"
+    # Histogram buckets must carry increasing le bounds and cumulative
+    # (non-decreasing) counts — the exposition-format contract.
+    bounds: list[float] = []
+    counts: list[float] = []
+    for line in body.splitlines():
+        if line.startswith("serve_place_seconds_bucket"):
+            le = line.split('le="', 1)[1].split('"', 1)[0]
+            bounds.append(float(le))
+            counts.append(float(line.rsplit(" ", 1)[1]))
+    assert bounds, "no serve_place_seconds_bucket samples"
+    assert bounds == sorted(bounds), "le bounds out of order"
+    assert bounds[-1] == float("inf"), "missing +Inf bucket"
+    assert counts == sorted(counts), "bucket counts not cumulative"
+    print(
+        f"prometheus: {len(families)} families parse "
+        f"({len(bounds)} ordered place-latency buckets)"
+    )
+
+
+def check_history(host: str, port: int, artifact_dir: Path) -> None:
+    """``/metrics/history`` is versioned JSON; saved as a CI artifact."""
+    status, history = request(host, port, "GET", "/metrics/history")
+    assert status == 200, f"history: HTTP {status}"
+    assert history["version"] == 1, history.get("version")
+    requests_series = history["counters"]["serve.requests"]
+    assert sum(requests_series["values"]) > 0, "no requests in window"
+    place = history["histograms"]["serve.place.seconds"]
+    assert place["window"]["count"] > 0, "no place latency in window"
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    artifact = artifact_dir / "windowed-metrics.json"
+    artifact.write_text(json.dumps(history, indent=2) + "\n")
+    print(
+        f"history: version 1, {history['buckets']}x"
+        f"{history['bucket_seconds']}s window -> {artifact}"
+    )
+
+
+def check_top(url: str) -> None:
+    """``repro-mc top --once`` renders a frame from the live daemon."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "top", url, "--once"],
+        capture_output=True,
+        text=True,
+        timeout=30,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    assert result.returncode == 0, f"top --once rc={result.returncode}: " + (
+        result.stderr or result.stdout
+    )
+    for needle in ("qps", "place p50/p95", "queue depth"):
+        assert needle in result.stdout, (
+            f"top frame missing {needle!r}:\n{result.stdout}"
+        )
+    print("top: --once renders the live dashboard frame")
+
+
+def check_trace_tree(events_path: Path, burst: dict) -> None:
+    """The span stream must form one rooted tree with linked requests."""
+    spans = []
+    with events_path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            event = json.loads(line)
+            if event["event"].startswith("span."):
+                spans.append(event)
+    ids = {span["span_id"] for span in spans}
+    by_id = {span["span_id"]: span for span in spans}
+    roots = [span for span in spans if span["parent_id"] is None]
+    orphans = [
+        span
+        for span in spans
+        if span["parent_id"] is not None and span["parent_id"] not in ids
+    ]
+    assert len(roots) == 1, f"{len(roots)} roots (want 1): " + ", ".join(
+        span["name"] for span in roots
+    )
+    assert roots[0]["name"] == "serve.run", roots[0]["name"]
+    assert not orphans, (
+        f"{len(orphans)} orphan spans, e.g. {orphans[0]['name']}"
+    )
+    requests_spans = [s for s in spans if s["name"] == "serve.request"]
+    total = burst["accepted"] + burst["rejected"]
+    assert len(requests_spans) >= total, (
+        f"{len(requests_spans)} serve.request spans < {total} burst queries"
+    )
+    for span in requests_spans:
+        parent = by_id[span["parent_id"]]
+        assert parent["name"] == "serve.flush", parent["name"]
+        parts = span["queue_wait"] + span["kernel"] + span["apply"]
+        assert abs(parts - span["seconds"]) < 1e-9, (
+            f"attribution {parts} != seconds {span['seconds']}"
+        )
+    flushes = {span["parent_id"] for span in requests_spans}
+    print(
+        f"trace: 1 root, 0 orphans, {len(requests_spans)} serve.request "
+        f"spans linked to {len(flushes)} serve.flush spans, "
+        f"queue/kernel/apply reconcile exactly"
+    )
+
+
+def check_slo_gate(dump: dict) -> None:
+    """The CI exit-code gate: the burst must not trip any SLO rule."""
+    slo = dump.get("slo")
+    assert slo is not None, "exported dump has no slo section"
+    assert slo["rules"] == SLO_RULES, slo["rules"]
+    assert slo["alerts"] == 0, (
+        f"SLO gate FAILED: {slo['alerts']} alert(s), failing={slo['failing']}"
+    )
+    assert not slo["failing"], slo["failing"]
+    print(f"slo: 0 alerts across {len(slo['rules'])} rules — gate passed")
+
+
 def check_shutdown(proc: subprocess.Popen, metrics_path: Path, burst: dict):
     proc.send_signal(signal.SIGINT)
     try:
@@ -223,12 +403,15 @@ def check_shutdown(proc: subprocess.Popen, metrics_path: Path, burst: dict):
         f"shutdown: rc=0, metrics + manifest exported "
         f"(batch p50={batch['p50']:.1f}, max={batch['max']:.0f})"
     )
+    return dump
 
 
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
         metrics_path = Path(tmp) / "serve.metrics.json"
-        proc, host, port = start_daemon(metrics_path)
+        events_path = Path(tmp) / "events.jsonl"
+        artifact_dir = Path(ARTIFACT_DIR) if ARTIFACT_DIR else Path(tmp)
+        proc, host, port = start_daemon(metrics_path, events_path)
         try:
             status, body = request(host, port, "GET", "/healthz")
             assert status == 200 and body["ok"]
@@ -238,7 +421,12 @@ def main() -> int:
             assert body["probe_impl"] == "incremental", body
             check_admit_parity(host, port)
             burst = run_place_burst(host, port)
-            check_shutdown(proc, metrics_path, burst)
+            check_prometheus(host, port)
+            check_history(host, port, artifact_dir)
+            check_top(f"http://{host}:{port}")
+            dump = check_shutdown(proc, metrics_path, burst)
+            check_slo_gate(dump)
+            check_trace_tree(events_path, burst)
         finally:
             if proc.poll() is None:
                 proc.kill()

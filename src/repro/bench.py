@@ -58,6 +58,7 @@ from repro.partition.probe import (
 __all__ = [
     "DEFAULT_SETS",
     "DEFAULT_PLACEMENT_SETS",
+    "DEFAULT_SERVE_PLACES",
     "DEFAULT_GATE_RATIO",
     "DEFAULT_OVERHEAD_GATE",
     "PLACEMENT_TASK_RANGE",
@@ -65,6 +66,7 @@ __all__ = [
     "replay_probe_states",
     "run_placement_bench",
     "run_probe_bench",
+    "run_serve_bench",
     "compare_against_baselines",
     "run_compare",
 ]
@@ -92,6 +94,10 @@ DEFAULT_OVERHEAD_GATE = 1.10
 
 PARTITION_BASELINE = "BENCH_partition.json"
 OVERHEAD_BASELINE = "BENCH_obs_overhead.json"
+SERVE_BASELINE = "BENCH_serve.json"
+
+#: Concurrent /place requests of the quick serve-latency burst.
+DEFAULT_SERVE_PLACES = 256
 
 
 def replay_probe_states(
@@ -195,6 +201,92 @@ def run_placement_bench(
     }
 
 
+def run_serve_bench(
+    places: int = DEFAULT_SERVE_PLACES, seed: int = SEED, cores: int = 8
+) -> dict:
+    """Serve-latency burst: an in-process daemon under concurrent /place.
+
+    Boots a real :class:`~repro.serve.daemon.ServeDaemon` (ephemeral
+    port, incremental backend — the serve defaults), fires ``places``
+    concurrent HTTP ``/place`` requests at it, and reports qps plus the
+    exact log-bucket p50/p95 of ``serve.place.seconds`` (queue-wait +
+    kernel + apply per request, the same histogram the daemon exposes
+    via Prometheus).  Everything runs in one process on one event loop,
+    so the numbers are the coalescing path's, not a client fleet's.
+    """
+    import asyncio
+    import json as json_mod
+
+    from repro.obs.runtime import OBS
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+
+    rng = np.random.default_rng(seed)
+    bodies = []
+    for i in range(places):
+        period = float(rng.uniform(50.0, 200.0))
+        lo = period * float(rng.uniform(0.001, 0.01))
+        body = {
+            "task": {"name": f"b{i}", "period": period, "wcets": [lo, lo * 2]}
+        }
+        bodies.append(json_mod.dumps(body).encode("utf-8"))
+
+    async def _post(host: str, port: int, body: bytes) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            (
+                "POST /place HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+        await reader.read()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    async def _bench() -> dict:
+        config = ServeConfig(
+            cores=cores,
+            port=0,
+            backlog=places + 8,
+            command=["bench", "serve"],
+        )
+        daemon = ServeDaemon(config)
+        shutdown = asyncio.Event()
+        ready = asyncio.Event()
+        runner = asyncio.create_task(daemon.run(shutdown, ready=ready))
+        await ready.wait()
+        host, port = daemon.bound
+        start = time.perf_counter()
+        await asyncio.gather(*(_post(host, port, body) for body in bodies))
+        elapsed = time.perf_counter() - start
+        # The daemon instruments the whole process while it runs, so its
+        # registry is readable here — before shutdown restores state.
+        latency = OBS.registry.histogram("serve.place.seconds").as_dict()
+        batch = OBS.registry.summaries.get("serve.batch_size")
+        batch_p50 = batch.percentile(50.0) if batch is not None else 0.0
+        accepted = OBS.registry.counter("serve.place.accepted").value
+        shutdown.set()
+        await runner
+        return {
+            "benchmark": "serve-burst",
+            "places": places,
+            "seed": seed,
+            "cores": cores,
+            "seconds": elapsed,
+            "qps": places / elapsed,
+            "accepted": accepted,
+            "batch_p50": batch_p50,
+            "place_p50_s": latency["p50"],
+            "place_p95_s": latency["p95"],
+        }
+
+    return asyncio.run(_bench())
+
+
 def _raw(partition: Partition, task_index: int):
     return _core_utilization_stack(partition.candidate_stack(task_index), "max")
 
@@ -249,6 +341,7 @@ def run_probe_bench(sets: int = DEFAULT_SETS, seed: int = SEED) -> dict:
         },
         "speedup": scalar_seconds / batch_seconds,
         "placement": run_placement_bench(seed=seed),
+        "serve": run_serve_bench(seed=seed),
         "disabled_overhead_ratio": statistics.median(ratios),
         "overhead_samples": len(ratios),
     }
@@ -341,6 +434,39 @@ def compare_against_baselines(
                 measured["placement"]["speedup"],
                 committed_inc_speedup,
                 max(1.0, gate_ratio * committed_inc_speedup),
+            )
+
+    serve_baseline = _load_json(baseline_dir / SERVE_BASELINE)
+    serve_measured = measured.get("serve")
+    if serve_baseline is None:
+        # Same policy as the placement section: a silently absent
+        # baseline would make the serve-latency gate vacuous.
+        failures.append(f"missing/unreadable baseline {SERVE_BASELINE}")
+        lines.append(f"  !! no {SERVE_BASELINE} in {baseline_dir}")
+    elif serve_measured is not None:
+        committed_qps = float(serve_baseline["qps"])
+        check(
+            "serve qps",
+            serve_measured["qps"],
+            committed_qps,
+            gate_ratio * committed_qps,
+        )
+        # Latency gates from above: a slower machine is allowed
+        # 1/gate_ratio times the committed p95, no more.
+        committed_p95 = float(serve_baseline["place_p95_s"])
+        measured_p95 = float(serve_measured["place_p95_s"])
+        ceiling = committed_p95 / gate_ratio
+        ok = measured_p95 <= ceiling
+        lines.append(
+            f"  {'serve place p95 (s)':<26} {measured_p95:>12.5f} "
+            f"{committed_p95:>12.5f} "
+            f"{'<= ' + format(ceiling, '.5f'):>14} {'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failures.append(
+                f"serve place p95: measured {measured_p95:.5f}s exceeds "
+                f"gate {ceiling:.5f}s (committed {committed_p95:.5f}s / "
+                f"ratio {gate_ratio})"
             )
 
     overhead = _load_json(baseline_dir / OVERHEAD_BASELINE)

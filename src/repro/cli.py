@@ -162,14 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
             "trace",
             "bench",
             "serve",
+            "top",
         ],
         help=(
             "which paper artifact to regenerate, 'validate' to fuzz the "
             "cross-layer invariant oracles, 'inspect' to pretty-print "
             "the run manifest of an existing artifact, 'trace' to analyse "
             "the span tree of an instrumented run, 'bench' to gate "
-            "probe throughput against the committed baselines, or 'serve' "
-            "to run the online admission-control daemon"
+            "probe throughput against the committed baselines, 'serve' "
+            "to run the online admission-control daemon, or 'top' for a "
+            "live dashboard over a daemon URL or a sweep's events.jsonl"
         ),
     )
     parser.add_argument(
@@ -178,7 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "artifact or manifest paths (inspect), an events.jsonl file or "
-            "run directory (trace), or the action 'compare' (bench)"
+            "run directory (trace), the action 'compare' (bench), or a "
+            "daemon URL / events.jsonl / run directory (top)"
         ),
     )
     parser.add_argument("--version", action=_VersionAction)
@@ -352,6 +355,33 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve: bounded request queue size; a full queue answers 503 "
             "(default 256)"
+        ),
+    )
+    serve_group.add_argument(
+        "--slo",
+        action="append",
+        metavar="RULE",
+        default=None,
+        help=(
+            "serve: SLO rule over the live window, e.g. "
+            "'p95(serve.place.seconds) < 5ms' or "
+            "'rate(serve.rejected_503) == 0'; repeatable.  Violations "
+            "emit slo.alert events and bump the serve.slo.alerts counter"
+        ),
+    )
+    top_group = parser.add_argument_group("top options")
+    top_group.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="top: refresh interval in seconds (default 2.0)",
+    )
+    top_group.add_argument(
+        "--once",
+        action="store_true",
+        help=(
+            "top: render a single frame without terminal control codes "
+            "and exit (for scripts/CI)"
         ),
     )
     bench_group = parser.add_argument_group("bench options")
@@ -610,9 +640,16 @@ def main(argv: list[str] | None = None) -> int:
 
 def _serve(args, command: list[str]) -> int:
     """``repro-mc serve``: run the online admission-control daemon."""
+    from repro.obs.live import parse_slo
     from repro.serve import ServeConfig
     from repro.serve.daemon import run_forever
 
+    for rule in args.slo or []:
+        try:
+            parse_slo(rule)
+        except ReproError as exc:
+            print(f"repro-mc serve: {exc}", file=sys.stderr)
+            return 2
     config = ServeConfig(
         cores=args.cores,
         levels=args.levels,
@@ -624,9 +661,36 @@ def _serve(args, command: list[str]) -> int:
         probe_impl=args.probe_impl or "incremental",
         metrics_path=args.metrics,
         log_json=args.log_json,
+        slo=args.slo or [],
         command=command,
     )
     return run_forever(config)
+
+
+def _top(args) -> int:
+    """``repro-mc top``: live dashboard over a daemon URL or events file."""
+    from repro.obs.top import run_top
+
+    if len(args.paths) != 1:
+        print(
+            "repro-mc top: pass exactly one daemon URL "
+            "(e.g. http://127.0.0.1:8787) or an events.jsonl file / run "
+            "directory",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return run_top(
+            args.paths[0],
+            interval=args.interval,
+            once=args.once,
+            stream=sys.stdout,
+        )
+    except ReproError as exc:
+        print(f"repro-mc top: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
 
 
 def _dispatch(args, command: list[str]) -> int:
@@ -644,6 +708,8 @@ def _dispatch(args, command: list[str]) -> int:
         return _bench(args)
     if args.experiment == "serve":
         return _serve(args, command)
+    if args.experiment == "top":
+        return _top(args)
     if args.paths:
         print(
             f"repro-mc {args.experiment}: unexpected positional arguments "

@@ -35,7 +35,7 @@ from repro.gen.generator import generate_taskset
 from repro.gen.params import WorkloadConfig
 from repro.metrics.aggregate import SchemeAccumulator, SchemeStats
 from repro.obs import runtime as obs
-from repro.obs.metrics import Summary
+from repro.obs.metrics import Histogram, Summary
 from repro.partition.backend import get_backend
 from repro.partition.probe import probe_implementation, use_probe_implementation
 from repro.types import ReproError
@@ -61,9 +61,17 @@ ProgressHook = Callable[[dict], None]
 class EngineRunStats:
     """Observability counters for one engine lifetime.
 
-    ``shard_seconds`` is a bounded :class:`~repro.obs.Summary`
-    (count/total/min/max/p50/p95), so a million-shard sweep costs a few
-    hundred floats of memory, not a million.
+    Shard timings are reported twice, bounded either way:
+
+    * ``shard_seconds`` — the legacy :class:`~repro.obs.Summary`
+      (reservoir p50/p95), kept for API back-compat.  Its percentiles
+      are **deprecated** in dumps: the reservoir decimates on long
+      sweeps and its merge is order-dependent.
+    * ``shard_seconds_hist`` — the exact log-bucket
+      :class:`~repro.obs.Histogram`: fixed global edges, so percentiles
+      are stable at ~1.78x bucket resolution and merges across worker
+      processes are exactly associative (pinned by a hypothesis
+      property in ``tests/engine/``).  Prefer these numbers.
     """
 
     points: int = 0
@@ -76,6 +84,9 @@ class EngineRunStats:
     shard_seconds: Summary = field(
         default_factory=lambda: Summary("engine.shard_seconds")
     )
+    shard_seconds_hist: Histogram = field(
+        default_factory=lambda: Histogram("engine.shard_seconds")
+    )
 
     def as_dict(self) -> dict:
         return {
@@ -87,6 +98,7 @@ class EngineRunStats:
             "compute_seconds": self.compute_seconds,
             "worker_retries": self.worker_retries,
             "shard_seconds": self.shard_seconds.as_dict(),
+            "shard_seconds_hist": self.shard_seconds_hist.as_dict(),
         }
 
 
@@ -383,9 +395,11 @@ class Engine:
         self.stats.shards_computed += 1
         self.stats.compute_seconds += seconds
         self.stats.shard_seconds.observe(seconds)
+        self.stats.shard_seconds_hist.observe(seconds)
         if obs.OBS.enabled:
             obs.counter("engine.shards_computed").inc()
             obs.summary("engine.shard_seconds").observe(seconds)
+            obs.histogram("engine.shard_seconds").observe(seconds)
 
     # -- shard execution ----------------------------------------------
 
@@ -529,6 +543,15 @@ class Engine:
             shards = plan_shards(point.sets, jobs)
             self.stats.points += 1
             self.stats.shards_planned += len(shards)
+            # The ETA anchor for live dashboards (repro-mc top): how
+            # much work this point holds and how wide it fans out.
+            self._emit(
+                "point_plan",
+                kind=point.kind,
+                sets=point.sets,
+                shards=len(shards),
+                jobs=jobs,
+            )
 
             results: dict[int, object] = {}
             missing: list[tuple[int, int]] = []
@@ -571,6 +594,12 @@ class Engine:
 
     def _run(self, spec: ExperimentSpec) -> SweepArtifact:
         rows = []
+        self._emit(
+            "run_plan",
+            figure=spec.figure,
+            points=len(spec.points),
+            sets_per_point=spec.sets_per_point,
+        )
         for value, point in zip(spec.values, spec.points):
             if point.kind != "stats":
                 raise ReproError(

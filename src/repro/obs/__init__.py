@@ -30,7 +30,16 @@ from repro.obs.manifest import (
     manifest_path_for,
     write_manifest,
 )
-from repro.obs.metrics import Counter, MetricsRegistry, Summary
+from repro.obs.live import (
+    LiveMetrics,
+    MetricsView,
+    SloMonitor,
+    SloResult,
+    SloRule,
+    parse_slo,
+    render_prometheus,
+)
+from repro.obs.metrics import HIST_EDGES, Counter, Histogram, MetricsRegistry, Summary
 from repro.obs.runtime import (
     MAX_SPAN_RECORDS,
     OBS,
@@ -44,6 +53,7 @@ from repro.obs.runtime import (
     drain_spans,
     emit,
     enable,
+    histogram,
     instrument,
     new_run_id,
     record_span,
@@ -69,9 +79,16 @@ __all__ = [
     "SPAN_RESERVED_KEYS",
     "Counter",
     "EventSink",
+    "HIST_EDGES",
+    "Histogram",
     "JsonlSink",
+    "LiveMetrics",
     "MANIFEST_VERSION",
     "MetricsRegistry",
+    "MetricsView",
+    "SloMonitor",
+    "SloResult",
+    "SloRule",
     "SpanNode",
     "Summary",
     "TraceTree",
@@ -90,12 +107,15 @@ __all__ = [
     "format_manifest",
     "format_report",
     "git_describe",
+    "histogram",
     "instrument",
     "load_manifest",
     "load_tree",
     "manifest_path_for",
     "new_run_id",
+    "parse_slo",
     "record_span",
+    "render_prometheus",
     "scheme_tag",
     "span",
     "summary",

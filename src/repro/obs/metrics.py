@@ -20,12 +20,32 @@ identical observation streams produce identical summaries.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
-__all__ = ["Counter", "Summary", "MetricsRegistry"]
+__all__ = ["Counter", "Summary", "Histogram", "MetricsRegistry", "HIST_EDGES"]
 
 #: Reservoir capacity of a :class:`Summary` (floats kept per summary).
 DEFAULT_MAX_SAMPLES = 512
+
+#: Log-spaced bucket-edge schema of every :class:`Histogram`:
+#: ``10**(k / PER_DECADE)`` for ``k`` in ``[MIN_EXP*PER_DECADE,
+#: MAX_EXP*PER_DECADE]``.  Edges are *fixed and global*, which is the
+#: whole design: two histograms — from different processes, different
+#: runs, or different time-window buckets — merge by element-wise
+#: integer addition of their bucket counts, exactly and associatively.
+_HIST_MIN_EXP = -7  #: 100 ns resolution floor (seconds-denominated)
+_HIST_MAX_EXP = 3  #: 1000 s ceiling before the overflow bucket
+_HIST_PER_DECADE = 4  #: ~1.78x bucket width (10**0.25)
+
+HIST_EDGES: tuple[float, ...] = tuple(
+    10.0 ** (k / _HIST_PER_DECADE)
+    for k in range(_HIST_MIN_EXP * _HIST_PER_DECADE, _HIST_MAX_EXP * _HIST_PER_DECADE + 1)
+)
+
+#: Schema tag stored with every transferable histogram state; merging
+#: states with a different tag raises instead of silently mixing edges.
+HIST_SCHEMA = f"log10[{_HIST_MIN_EXP}:{_HIST_MAX_EXP}:{_HIST_PER_DECADE}]"
 
 
 class Counter:
@@ -165,6 +185,152 @@ class Summary:
         return f"<Summary {self.name} n={self.count} total={self.total:.6g}>"
 
 
+class Histogram:
+    """Latency histogram over the fixed log-spaced :data:`HIST_EDGES`.
+
+    The complement of :class:`Summary`: a ``Summary`` keeps a bounded
+    *reservoir* (approximate percentiles that decay as the stream grows,
+    merges that depend on merge order), a ``Histogram`` keeps *bucket
+    counts* over globally fixed edges — percentiles quantized to bucket
+    resolution (~1.78x) but **merges are exact and associative**: any
+    grouping of the same observations into processes, shards, or time
+    windows produces identical bucket counts (pinned by a hypothesis
+    property in the engine test suite).
+
+    ``counts[i]`` tallies observations ``v`` with
+    ``HIST_EDGES[i-1] < v <= HIST_EDGES[i]``; ``counts[0]`` is the
+    underflow bucket (``v <= HIST_EDGES[0]``, including zeros and
+    negatives) and ``counts[-1]`` the overflow bucket
+    (``v > HIST_EDGES[-1]``).  ``count``/``min``/``max`` are exact and
+    merge exactly; ``total`` is an exact per-process sum whose merge is
+    float addition (associative only to rounding), so it is excluded
+    from :meth:`digest`.
+    """
+
+    __slots__ = ("name", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.counts = [0] * (len(HIST_EDGES) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.counts[bisect_left(HIST_EDGES, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """``q``-th percentile (``0 <= q <= 100``); ``nan`` if empty.
+
+        Reported as the upper edge of the bucket holding the
+        nearest-rank observation, clamped to the exact observed
+        ``[min, max]`` — deterministic and identical however the
+        underlying observations were merged.
+        """
+        if not self.count:
+            return float("nan")
+        rank = max(1, -(-self.count * min(max(q, 0.0), 100.0) // 100))
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= rank:
+                if i >= len(HIST_EDGES):  # overflow bucket: no upper edge
+                    return self.max
+                return min(max(HIST_EDGES[i], self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    def as_dict(self) -> dict:
+        """Bounded reporting form: count/total/min/max/p50/p95/p99."""
+        if self.count == 0:
+            return {
+                "count": 0,
+                "total": 0.0,
+                "min": None,
+                "max": None,
+                "p50": None,
+                "p95": None,
+                "p99": None,
+            }
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def digest(self) -> dict:
+        """The exactly-merge-invariant identity of this histogram.
+
+        Contains only fields whose merge is exact integer/min/max
+        arithmetic — ``jobs=1`` and ``jobs=N`` runs over the same
+        observations produce equal digests.  ``total`` (float addition)
+        is deliberately excluded.
+        """
+        return {
+            "schema": HIST_SCHEMA,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "counts": {i: n for i, n in enumerate(self.counts) if n},
+        }
+
+    def state(self) -> dict:
+        """Full transferable state (sparse counts; cross-process merging)."""
+        return {
+            "schema": HIST_SCHEMA,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "counts": {str(i): n for i, n in enumerate(self.counts) if n},
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` in (exact bucket adds)."""
+        schema = state.get("schema")
+        if schema != HIST_SCHEMA:
+            raise ValueError(
+                f"histogram schema mismatch: {schema!r} != {HIST_SCHEMA!r}"
+            )
+        if not state["count"]:
+            return
+        self.count += int(state["count"])
+        self.total += float(state["total"])
+        self.min = min(self.min, float(state["min"]))
+        self.max = max(self.max, float(state["max"]))
+        for index, n in state["counts"].items():
+            self.counts[int(index)] += int(n)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another in-process :class:`Histogram` in (exact)."""
+        if other.count:
+            self.count += other.count
+            self.total += other.total
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+            for i, n in enumerate(other.counts):
+                if n:
+                    self.counts[i] += n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Histogram {self.name} n={self.count}>"
+
+
 @dataclass
 class MetricsRegistry:
     """A named bag of counters and summaries.
@@ -178,6 +344,7 @@ class MetricsRegistry:
 
     counters: dict[str, Counter] = field(default_factory=dict)
     summaries: dict[str, Summary] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
@@ -191,12 +358,19 @@ class MetricsRegistry:
             s = self.summaries[name] = Summary(name)
         return s
 
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
     def snapshot(self) -> dict:
-        """Reporting form: ``{"counters": {...}, "summaries": {...}}``.
+        """Reporting form: ``{"counters", "summaries", "histograms"}``.
 
         Counters map to ints, summaries to their bounded
-        ``count/total/min/max/p50/p95`` dicts; keys are sorted so the
-        output is stable for diffing and tests.
+        ``count/total/min/max/p50/p95`` dicts, histograms to their
+        ``count/total/min/max/p50/p95/p99`` digests; keys are sorted so
+        the output is stable for diffing and tests.
         """
         return {
             "counters": {
@@ -206,13 +380,20 @@ class MetricsRegistry:
                 name: self.summaries[name].as_dict()
                 for name in sorted(self.summaries)
             },
+            "histograms": {
+                name: self.histograms[name].as_dict()
+                for name in sorted(self.histograms)
+            },
         }
 
     def dump(self) -> dict:
-        """Transfer form: exact counter values + full summary states."""
+        """Transfer form: exact counter values + summary/histogram states."""
         return {
             "counters": {name: c.value for name, c in self.counters.items()},
             "summaries": {name: s.state() for name, s in self.summaries.items()},
+            "histograms": {
+                name: h.state() for name, h in self.histograms.items()
+            },
         }
 
     def merge(self, dump: dict) -> None:
@@ -228,7 +409,10 @@ class MetricsRegistry:
             self.counter(name).inc(int(value))
         for name, state in dump.get("summaries", {}).items():
             self.summary(name).merge_state(state)
+        for name, state in dump.get("histograms", {}).items():
+            self.histogram(name).merge_state(state)
 
     def clear(self) -> None:
         self.counters.clear()
         self.summaries.clear()
+        self.histograms.clear()

@@ -41,7 +41,7 @@ from contextvars import ContextVar
 from typing import Iterator
 
 from repro.obs.events import EventSink, JsonlSink, make_event
-from repro.obs.metrics import Counter, MetricsRegistry, Summary
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Summary
 
 __all__ = [
     "OBS",
@@ -52,6 +52,7 @@ __all__ = [
     "disable",
     "counter",
     "summary",
+    "histogram",
     "emit",
     "span",
     "record_span",
@@ -209,6 +210,11 @@ def counter(name: str) -> Counter:
 def summary(name: str) -> Summary:
     """The named summary of the active registry (created on first use)."""
     return OBS.registry.summary(name)
+
+
+def histogram(name: str) -> Histogram:
+    """The named histogram of the active registry (created on first use)."""
+    return OBS.registry.histogram(name)
 
 
 def emit(event: str, **payload) -> None:

@@ -12,6 +12,8 @@ bound (backpressure).
 from __future__ import annotations
 
 import asyncio
+import itertools
+import time
 from dataclasses import dataclass, field
 
 from repro.types import ReproError
@@ -25,11 +27,21 @@ class ServeOverflow(ReproError):
 
 @dataclass
 class WorkItem:
-    """One pending request: ``kind`` is ``"admit"`` or ``"place"``."""
+    """One pending request: ``kind`` is ``"admit"`` or ``"place"``.
+
+    Ingress stamps the tracing identity: ``request_id`` (unique per
+    daemon process, echoed in the response body and on the request's
+    span) plus the enqueue instants — ``enqueued`` on the perf-counter
+    clock (queue-wait arithmetic) and ``wall`` on the epoch clock (span
+    ``start``).
+    """
 
     kind: str
     request: object
     future: asyncio.Future = field(repr=False)
+    request_id: str = ""
+    enqueued: float = 0.0
+    wall: float = 0.0
 
 
 class MicroBatcher:
@@ -47,6 +59,7 @@ class MicroBatcher:
         self.window = float(window)
         self.max_batch = int(max_batch)
         self._closed = False
+        self._ids = itertools.count(1)
 
     @property
     def depth(self) -> int:
@@ -54,12 +67,25 @@ class MicroBatcher:
         return self._queue.qsize()
 
     def submit(self, kind: str, request: object) -> asyncio.Future:
-        """Enqueue one request; the returned future resolves at flush."""
+        """Enqueue one request; the returned future resolves at flush.
+
+        This is request ingress: the item gets its ``request_id`` and
+        its enqueue timestamps here, so queue-wait is measured from the
+        moment admission was asked for, not from when a flush noticed.
+        """
         if self._closed:
             raise ServeOverflow("service is shutting down")
         future = asyncio.get_running_loop().create_future()
+        item = WorkItem(
+            kind,
+            request,
+            future,
+            request_id=f"{kind}-{next(self._ids)}",
+            enqueued=time.perf_counter(),
+            wall=time.time(),
+        )
         try:
-            self._queue.put_nowait(WorkItem(kind, request, future))
+            self._queue.put_nowait(item)
         except asyncio.QueueFull:
             raise ServeOverflow(
                 f"request queue full ({self._queue.maxsize} pending)"

@@ -27,11 +27,14 @@ the worst-fit/best-balance choice CA-TPA's probes are built for.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.metrics.core import imbalance_factor
 from repro.model import MCTaskSet, Partition
-from repro.obs.runtime import OBS, span
+from repro.obs.live import LiveMetrics
+from repro.obs.runtime import OBS, current_span_id, record_span, span
 from repro.partition.backend import get_backend
 from repro.partition.probe import batch_probe_tasks, use_probe_implementation
 from repro.partition.registry import get_partitioner
@@ -52,12 +55,14 @@ class Coordinator:
         batcher: MicroBatcher,
         rule: str = "max",
         probe_impl: str = "incremental",
+        live: LiveMetrics | None = None,
     ):
         get_backend(probe_impl)  # fail fast on unknown names
         self.state = state
         self.batcher = batcher
         self.rule = rule
         self.probe_impl = probe_impl
+        self.live = live
 
     async def run(self) -> None:
         """Flush batches until the batcher is closed and drained."""
@@ -71,26 +76,84 @@ class Coordinator:
         The whole flush — admission sweeps and placements alike — runs
         under the configured probe backend; the selection rides a
         contextvar, so concurrent readers are unaffected.
+
+        Tracing: the flush is one shared ``serve.flush`` span; every
+        request in the batch additionally gets its *own*
+        ``serve.request`` span recorded as a child of the flush span,
+        carrying its ``request_id`` and the attribution triple
+        ``queue_wait`` (ingress → flush start), ``kernel`` (its share of
+        probe-kernel time) and ``apply`` (its share of
+        assignment/commit time); the span's ``seconds`` is exactly the
+        sum of the three.
         """
+        flush_start = time.perf_counter()
         if OBS.enabled:
             OBS.registry.summary("serve.batch_size").observe(float(len(batch)))
+        if self.live is not None:
+            self.live.observe("serve.batch_size", float(len(batch)))
         places = [item for item in batch if item.kind == "place"]
         with span("serve.flush", batch=len(batch)):
+            flush_id = current_span_id()
             with use_probe_implementation(self.probe_impl):
                 for item in batch:
                     if item.kind == "admit":
+                        t0 = time.perf_counter()
                         self._resolve(item, self._admit, item.request)
+                        self._finish_request(
+                            item,
+                            flush_start,
+                            flush_id,
+                            kernel=time.perf_counter() - t0,
+                            apply=0.0,
+                        )
                 if places:
-                    self._place_flush(places)
+                    self._place_flush(places, flush_start, flush_id)
 
-    @staticmethod
-    def _resolve(item: WorkItem, fn, *args) -> None:
+    def _resolve(self, item: WorkItem, fn, *args) -> None:
         if item.future.cancelled():  # pragma: no cover - client went away
             return
         try:
-            item.future.set_result(fn(*args))
+            result = fn(*args)
+            if isinstance(result, dict):
+                result.setdefault("request_id", item.request_id)
+            item.future.set_result(result)
         except ReproError as exc:
             item.future.set_exception(exc)
+
+    def _finish_request(
+        self,
+        item: WorkItem,
+        flush_start: float,
+        flush_id: int | None,
+        *,
+        kernel: float,
+        apply: float,
+    ) -> None:
+        """Record one request's span + latency observations.
+
+        ``seconds`` is constructed as ``queue_wait + kernel + apply`` so
+        the three components reconcile with the span total *exactly*
+        (pinned in ``tests/serve/test_tracing.py``); each component is a
+        real measured interval, so the sum also tracks the request's
+        wall-clock latency up to the future-resolution hop.
+        """
+        queue_wait = max(flush_start - item.enqueued, 0.0)
+        seconds = queue_wait + kernel + apply
+        if OBS.enabled:
+            OBS.registry.histogram(f"serve.{item.kind}.seconds").observe(seconds)
+            record_span(
+                "serve.request",
+                start=item.wall,
+                seconds=seconds,
+                parent_id=flush_id,
+                request_id=item.request_id,
+                kind=item.kind,
+                queue_wait=queue_wait,
+                kernel=kernel,
+                apply=apply,
+            )
+        if self.live is not None:
+            self.live.observe(f"serve.{item.kind}.seconds", seconds)
 
     # ------------------------------------------------------------------
     # /admit: the offline partitioner, verbatim
@@ -118,7 +181,12 @@ class Coordinator:
     # ------------------------------------------------------------------
     # /place: one stacked kernel call per flush
     # ------------------------------------------------------------------
-    def _place_flush(self, places: list[WorkItem]) -> None:
+    def _place_flush(
+        self,
+        places: list[WorkItem],
+        flush_start: float,
+        flush_id: int | None,
+    ) -> None:
         state = self.state
         # Reject tasks the daemon's K cannot express before touching state.
         ready: list[WorkItem] = []
@@ -132,6 +200,9 @@ class Coordinator:
                         f"task criticality {task.criticality} exceeds the "
                         f"daemon's K={state.levels}"
                     ),
+                )
+                self._finish_request(
+                    item, flush_start, flush_id, kernel=0.0, apply=0.0
                 )
             else:
                 ready.append(item)
@@ -148,10 +219,14 @@ class Coordinator:
         base = len(old_tasks)
         idx = list(range(base, base + len(ready)))
 
+        place_start = time.perf_counter()
+        kernel_total = 0.0
         with span("serve.place", batch=len(ready)):
             # THE kernel call of the flush: every (task, core) hypothesis
             # of the micro-batch in one stacked NumPy pass.
+            t0 = time.perf_counter()
             utils = batch_probe_tasks(part, idx, rule=self.rule)
+            kernel_total += time.perf_counter() - t0
             decisions: list[int | None] = []
             for t, task_index in enumerate(idx):
                 core = self._best_core(utils[t])
@@ -166,9 +241,11 @@ class Coordinator:
                     # which is exactly what the incremental backend
                     # recomputes — the other columns answer from the
                     # warm per-core state (bit-identical either way).
+                    t0 = time.perf_counter()
                     utils[t + 1 :] = batch_probe_tasks(
                         part, remaining, rule=self.rule
                     )
+                    kernel_total += time.perf_counter() - t0
 
         accepted = [i for i, c in zip(idx, decisions) if c is not None]
         if len(accepted) < len(ready):
@@ -193,12 +270,32 @@ class Coordinator:
             state.commit(part)
         snap_seq = state.snapshot.seq
 
+        # Attribution shares: kernel time is the measured probe-kernel
+        # total, apply is everything else in the placement block
+        # (assignments, column refreshes bookkeeping, rebuild, commit) —
+        # both split evenly across the batch, since the stacked kernel
+        # serves all rows at once.
+        place_total = time.perf_counter() - place_start
+        apply_total = max(place_total - kernel_total, 0.0)
+        kernel_share = kernel_total / len(ready)
+        apply_share = apply_total / len(ready)
+
         reg = OBS.registry
         for item, core in zip(ready, decisions):
             if OBS.enabled:
                 name = "accepted" if core is not None else "rejected"
                 reg.counter(f"serve.place.{name}").inc()
+            if self.live is not None:
+                name = "accepted" if core is not None else "rejected"
+                self.live.inc(f"serve.place.{name}")
             self._resolve(item, self._place_response, item.request, core, snap_seq)
+            self._finish_request(
+                item,
+                flush_start,
+                flush_id,
+                kernel=kernel_share,
+                apply=apply_share,
+            )
 
     def _place_response(
         self, req: PlaceRequest, core: int | None, seq: int

@@ -25,6 +25,7 @@ from repro.obs import (
     write_manifest,
 )
 from repro.obs import runtime as obs_runtime
+from repro.obs.live import LiveMetrics, SloMonitor, parse_slo
 from repro.serve.batcher import MicroBatcher
 from repro.serve.coordinator import Coordinator
 from repro.serve.handlers import Api
@@ -51,6 +52,14 @@ class ServeConfig:
     probe_impl: str = "incremental"
     metrics_path: str | None = None
     log_json: str | None = None
+    #: SLO rules (``"p95(serve.place.seconds) < 5ms"``…) checked every
+    #: ``slo_interval_s`` over the live window; ok→fail edges emit
+    #: ``slo.alert`` events and bump ``serve.slo.alerts``.
+    slo: list[str] = field(default_factory=list)
+    slo_interval_s: float = 1.0
+    #: Live-window geometry (ring of fixed-width time buckets).
+    bucket_seconds: float = 1.0
+    history_buckets: int = 120
     command: list[str] = field(default_factory=list)
 
 
@@ -69,6 +78,16 @@ class ServeDaemon:
             window=config.window_ms / 1e3,
             max_batch=config.max_batch,
         )
+        self.live = LiveMetrics(
+            bucket_seconds=config.bucket_seconds,
+            buckets=config.history_buckets,
+        )
+        self.live.gauge("serve.queue_depth", lambda: self.batcher.depth)
+        self.live.gauge("serve.state_seq", lambda: self.state.snapshot.seq)
+        self.live.gauge("serve.tasks", lambda: self.state.snapshot.task_count)
+        self.live.gauge("serve.lambda", self._lambda_gauge)
+        # Bad SLO syntax fails here, before any socket binds.
+        self.slo = SloMonitor([parse_slo(rule) for rule in config.slo])
         # The Coordinator validates probe_impl eagerly: an unknown name
         # fails here with a clean ReproError, before any socket binds.
         self.coordinator = Coordinator(
@@ -76,43 +95,109 @@ class ServeDaemon:
             self.batcher,
             rule=config.rule,
             probe_impl=config.probe_impl,
+            live=self.live,
         )
-        self.api = Api(self.state, self.batcher)
+        self.api = Api(self.state, self.batcher, live=self.live)
         self.server = HttpServer(self.api, config.host, config.port)
         self.run_id = new_run_id()
         self.bound: tuple[str, int] | None = None
+
+    def _lambda_gauge(self) -> float:
+        """Current Λ imbalance over the published snapshot (live gauge)."""
+        from repro.metrics.core import imbalance_factor
+
+        return float(imbalance_factor(self.state.snapshot.utilizations()))
+
+    async def _slo_loop(self) -> None:
+        """Periodic SLO evaluation over the live window (edge-triggered).
+
+        Each ok→fail transition emits one ``slo.alert`` event and bumps
+        ``serve.slo.alerts``; each fail→ok emits ``slo.resolved``.  The
+        loop is cancelled at shutdown; :meth:`run` performs one final
+        check after the drain so short-lived daemons still evaluate
+        every rule at least once.
+        """
+        while True:
+            await asyncio.sleep(self.config.slo_interval_s)
+            self._check_slo()
+
+    def _check_slo(self) -> None:
+        _results, newly_failing, newly_ok = self.slo.check(self.live)
+        for result in newly_failing:
+            if obs_runtime.OBS.enabled:
+                obs_runtime.OBS.registry.counter("serve.slo.alerts").inc()
+            obs_runtime.emit(
+                "slo.alert",
+                rule=result.rule.text,
+                value=result.value,
+                threshold=result.rule.threshold,
+            )
+        for result in newly_ok:
+            obs_runtime.emit(
+                "slo.resolved", rule=result.rule.text, value=result.value
+            )
 
     async def run(
         self,
         shutdown: asyncio.Event,
         ready: asyncio.Event | None = None,
     ) -> int:
-        """Serve until ``shutdown`` is set; then drain and export."""
+        """Serve until ``shutdown`` is set; then drain and export.
+
+        Shutdown ordering is part of the durability contract (pinned in
+        ``tests/serve/test_drain.py``): drain the queue, record the
+        final spans/events, snapshot the registry, close the JSONL sink,
+        *then* write the metrics dump + manifest — so ``events.jsonl``
+        is complete on disk before (and regardless of) the export, even
+        when the serving block raises.
+        """
         config = self.config
         sink = JsonlSink(config.log_json) if config.log_json else None
+        snapshot: dict | None = None
         try:
             with obs_runtime.instrument(sink=sink, run_id=self.run_id) as obs:
-                self.bound = await self.server.start()
-                obs_runtime.emit(
-                    "serve.start",
-                    host=self.bound[0],
-                    port=self.bound[1],
-                    cores=config.cores,
-                )
-                worker = asyncio.create_task(self.coordinator.run())
-                if ready is not None:
-                    ready.set()
-                await shutdown.wait()
-                # Graceful: stop accepting, let queued work drain.
-                await self.server.stop()
-                self.batcher.close()
-                await worker
-                obs_runtime.emit("serve.stop", seq=self.state.snapshot.seq)
-                snapshot = obs.registry.snapshot()
+                try:
+                    # The root of the daemon's span tree: coordinator
+                    # flushes run inside this block on the same task
+                    # stack, so serve.flush (and every per-request span
+                    # under it) parents here — one rooted tree per run.
+                    with obs_runtime.span("serve.run"):
+                        self.bound = await self.server.start()
+                        obs_runtime.emit(
+                            "serve.start",
+                            host=self.bound[0],
+                            port=self.bound[1],
+                            cores=config.cores,
+                        )
+                        worker = asyncio.create_task(self.coordinator.run())
+                        slo_task = (
+                            asyncio.create_task(self._slo_loop())
+                            if self.slo.rules
+                            else None
+                        )
+                        if ready is not None:
+                            ready.set()
+                        await shutdown.wait()
+                        # Graceful: stop accepting, let queued work drain.
+                        await self.server.stop()
+                        self.batcher.close()
+                        await worker
+                        if slo_task is not None:
+                            slo_task.cancel()
+                            try:
+                                await slo_task
+                            except asyncio.CancelledError:
+                                pass
+                        if self.slo.rules:
+                            self._check_slo()  # final pass over the drain
+                    obs_runtime.emit("serve.stop", seq=self.state.snapshot.seq)
+                finally:
+                    snapshot = obs.registry.snapshot()
         finally:
             if sink is not None:
                 sink.close()
-        self._export(snapshot)
+            if snapshot is not None:
+                self._export(snapshot)
         return 0
 
     def _export(self, metrics_snapshot: dict) -> None:
@@ -121,18 +206,19 @@ class ServeDaemon:
             return
         metrics_path = Path(self.config.metrics_path)
         metrics_path.parent.mkdir(parents=True, exist_ok=True)
-        metrics_path.write_text(
-            json.dumps(
-                {
-                    "run_id": self.run_id,
-                    "repro_version": __version__,
-                    "command": self.config.command,
-                    "metrics": metrics_snapshot,
-                },
-                indent=2,
-            )
-            + "\n"
-        )
+        payload = {
+            "run_id": self.run_id,
+            "repro_version": __version__,
+            "command": self.config.command,
+            "metrics": metrics_snapshot,
+        }
+        if self.slo.rules:
+            payload["slo"] = {
+                "alerts": self.slo.alerts,
+                "failing": sorted(self.slo.failing),
+                "rules": [rule.text for rule in self.slo.rules],
+            }
+        metrics_path.write_text(json.dumps(payload, indent=2) + "\n")
         manifest = build_manifest(
             run_id=self.run_id,
             command=self.config.command,

@@ -1,15 +1,18 @@
 """A deliberately tiny HTTP/1.1 transport over asyncio streams.
 
 Just enough protocol for a local admission daemon: request line,
-headers, ``Content-Length`` bodies (JSON only), keep-alive, and nothing
-else — no chunked encoding, no TLS, no external dependencies.  Anything
-malformed gets a ``400`` and the connection closed.
+query strings, headers, ``Content-Length`` bodies (JSON only),
+keep-alive, and nothing else — no chunked encoding, no TLS, no external
+dependencies.  Anything malformed gets a ``400`` and the connection
+closed.  Responses are JSON by default; a handler returning a ``str``
+body is sent as ``text/plain`` (the Prometheus exposition path).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+from urllib.parse import parse_qsl, unquote
 
 from repro.serve.handlers import Api
 from repro.serve.protocol import MAX_BODY_BYTES
@@ -83,7 +86,9 @@ class HttpServer:
             await self._respond(writer, 400, {"error": "malformed request line"})
             return False
         method, target, _version = parts
-        path = target.split("?", 1)[0]
+        path, _, query_string = target.partition("?")
+        path = unquote(path)
+        query = dict(parse_qsl(query_string, keep_blank_values=True))
 
         headers: dict[str, str] = {}
         while True:
@@ -115,19 +120,28 @@ class HttpServer:
                 await self._respond(writer, 400, {"error": "body is not JSON"})
                 return False
 
-        status, body = await self.api.handle(method.upper(), path, payload)
+        status, body = await self.api.handle(
+            method.upper(), path, payload, query=query
+        )
         keep_alive = headers.get("connection", "keep-alive").lower() != "close"
         await self._respond(writer, status, body, keep_alive=keep_alive)
         return keep_alive
 
     @staticmethod
-    async def _respond(writer, status: int, body: dict, keep_alive=False) -> None:
-        data = json.dumps(body).encode("utf-8")
+    async def _respond(
+        writer, status: int, body: dict | str, keep_alive=False
+    ) -> None:
+        if isinstance(body, str):
+            data = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
         connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {connection}\r\n\r\n"
         )

@@ -10,8 +10,11 @@ to a warning instead of aborting the sweep.
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import obs
+from repro.obs.metrics import MetricsRegistry
 from repro.engine import Engine, ExperimentSpec, PointSpec, default_schemes
 from repro.gen.params import WorkloadConfig
 
@@ -83,6 +86,54 @@ class TestWorkerAggregation:
         assert engine.stats.shard_seconds.count == 4
         assert engine.stats.as_dict()["shard_seconds"]["count"] == 4
 
+    def test_shard_seconds_histogram_counts_every_shard(self):
+        with obs.instrument() as state:
+            engine = Engine(jobs=4)
+            engine.evaluate(_point())
+            hists = state.registry.snapshot()["histograms"]
+        assert hists["engine.shard_seconds"]["count"] == 4
+        assert engine.stats.shard_seconds_hist.count == 4
+        assert engine.stats.as_dict()["shard_seconds_hist"]["count"] == 4
+
+    def test_registry_histogram_mirrors_stats_exactly(self):
+        with obs.instrument() as state:
+            engine = Engine(jobs=1)
+            engine.evaluate(_point())
+            mirror = state.registry.histogram("engine.shard_seconds")
+        assert mirror.digest() == engine.stats.shard_seconds_hist.digest()
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=120,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_worker_histogram_merge_is_exact(self, values, jobs):
+        """jobs=1 and jobs=N over the same observations → equal digests.
+
+        Simulates the ProcessPoolExecutor boundary: N worker registries
+        each observe a chunk, dump through JSON, and merge into a parent
+        — the digest must equal one registry observing everything.
+        """
+        serial = MetricsRegistry()
+        for v in values:
+            serial.histogram("engine.shard_seconds").observe(v)
+
+        parent = MetricsRegistry()
+        stride = -(-len(values) // jobs)
+        for start in range(0, len(values), stride):
+            worker = MetricsRegistry()
+            for v in values[start : start + stride]:
+                worker.histogram("engine.shard_seconds").observe(v)
+            parent.merge(json.loads(json.dumps(worker.dump())))
+        assert (
+            parent.histogram("engine.shard_seconds").digest()
+            == serial.histogram("engine.shard_seconds").digest()
+        )
+        assert serial.histogram("engine.shard_seconds").count == len(values)
+
     def test_uninstrumented_run_records_nothing(self):
         baseline = obs.OBS.registry.snapshot()
         Engine(jobs=1).evaluate(_point(sets=4))
@@ -99,6 +150,27 @@ class TestEvents:
         assert "engine.point" in names
         assert "engine.shard" in names
         assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+
+    def test_plan_events_anchor_progress(self, tmp_path):
+        """run_plan/point_plan give ``repro-mc top`` its ETA anchors."""
+        log = tmp_path / "events.jsonl"
+        with obs.instrument(log_path=log):
+            Engine(jobs=1).run(_spec())
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        run_plans = [e for e in events if e["event"] == "engine.run_plan"]
+        point_plans = [e for e in events if e["event"] == "engine.point_plan"]
+        assert len(run_plans) == 1
+        assert run_plans[0]["figure"] == "figX"
+        assert run_plans[0]["points"] == 2
+        assert len(point_plans) == 2
+        for plan in point_plans:
+            assert plan["shards"] >= 1
+            assert plan["jobs"] == 1
+        # The plan precedes the shards it announces.
+        first_shard = next(
+            i for i, e in enumerate(events) if e["event"] == "engine.shard"
+        )
+        assert events.index(point_plans[0]) < first_shard
 
     def test_cache_hits_mirrored_into_counters(self, tmp_path):
         Engine(jobs=1, store=tmp_path).evaluate(_point(sets=4))

@@ -15,8 +15,16 @@ def _measured(
     overhead=1.01,
     inc_pps=3_000_000.0,
     inc_speedup=3.2,
+    serve_qps=1_000.0,
+    serve_p95=0.005,
 ):
     return {
+        "serve": {
+            "benchmark": "serve-burst",
+            "places": 256,
+            "qps": serve_qps,
+            "place_p95_s": serve_p95,
+        },
         "benchmark": "probe-throughput-quick",
         "sets": 2,
         "seed": 2016,
@@ -61,6 +69,9 @@ def baselines(tmp_path):
     )
     (tmp_path / bench.OVERHEAD_BASELINE).write_text(
         json.dumps({"disabled_overhead_ratio": 1.01, "gate": 1.02})
+    )
+    (tmp_path / bench.SERVE_BASELINE).write_text(
+        json.dumps({"qps": 1_000.0, "place_p95_s": 0.005})
     )
     return tmp_path
 
@@ -138,6 +149,35 @@ class TestCompare:
         )
         assert any(bench.PARTITION_BASELINE in f for f in failures)
         assert any(bench.OVERHEAD_BASELINE in f for f in failures)
+        assert any(bench.SERVE_BASELINE in f for f in failures)
+
+    def test_serve_qps_regression_fails(self, baselines):
+        failures, _ = bench.compare_against_baselines(
+            _measured(serve_qps=100.0),
+            baselines,
+            gate_ratio=0.5,
+            overhead_gate=1.10,
+        )
+        assert any("serve qps" in f for f in failures)
+
+    def test_serve_p95_latency_regression_fails(self, baselines):
+        # Ceiling is committed / gate_ratio = 0.005 / 0.5 = 0.010s.
+        failures, _ = bench.compare_against_baselines(
+            _measured(serve_p95=0.011),
+            baselines,
+            gate_ratio=0.5,
+            overhead_gate=1.10,
+        )
+        assert any("serve place p95" in f for f in failures)
+
+    def test_serve_p95_just_under_ceiling_passes(self, baselines):
+        failures, _ = bench.compare_against_baselines(
+            _measured(serve_p95=0.009),
+            baselines,
+            gate_ratio=0.5,
+            overhead_gate=1.10,
+        )
+        assert not any("serve" in f for f in failures)
 
     def test_report_lines_mark_failures(self, baselines):
         _, lines = bench.compare_against_baselines(
@@ -161,3 +201,7 @@ class TestRunProbeBench:
         assert placement["batch"]["probes_per_sec"] > 0
         assert placement["incremental"]["probes_per_sec"] > 0
         assert placement["speedup"] > 0
+        serve = measured["serve"]
+        assert serve["qps"] > 0
+        assert serve["accepted"] > 0
+        assert 0 < serve["place_p50_s"] <= serve["place_p95_s"]

@@ -563,3 +563,68 @@ class TestServeParser:
         args = cli.build_parser().parse_args(["serve"])
         assert args.cores == 4 and args.port == 8787
         assert args.window_ms == 1.0 and args.backlog == 256
+
+
+class TestServeSloFlags:
+    def test_slo_rules_round_trip(self):
+        args = cli.build_parser().parse_args(
+            [
+                "serve",
+                "--slo",
+                "p95(serve.place.seconds) < 5ms",
+                "--slo",
+                "rate(serve.rejected_503) == 0",
+            ]
+        )
+        assert args.slo == [
+            "p95(serve.place.seconds) < 5ms",
+            "rate(serve.rejected_503) == 0",
+        ]
+
+    def test_no_slo_flag_defaults_to_none(self):
+        assert cli.build_parser().parse_args(["serve"]).slo is None
+
+    def test_bad_slo_rule_exits_two_before_binding(self, capsys):
+        assert cli.main(["serve", "--slo", "p95(x) ~ 1"]) == 2
+        assert "bad SLO rule" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    def test_flags_round_trip(self):
+        args = cli.build_parser().parse_args(
+            ["top", "http://127.0.0.1:8787", "--interval", "0.5", "--once"]
+        )
+        assert args.experiment == "top"
+        assert args.paths == ["http://127.0.0.1:8787"]
+        assert args.interval == 0.5
+        assert args.once
+
+    def test_requires_exactly_one_target(self, capsys):
+        assert cli.main(["top"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert cli.main(["top", "a", "b"]) == 2
+
+    def test_renders_once_from_sweep_events(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        log.write_text(
+            json.dumps(
+                {
+                    "run_id": "r1",
+                    "seq": 1,
+                    "ts": 100.0,
+                    "event": "engine.run_plan",
+                    "figure": "fig1",
+                    "points": 1,
+                    "sets_per_point": 2,
+                }
+            )
+            + "\n"
+        )
+        assert cli.main(["top", str(log), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "\x1b" not in out
+
+    def test_missing_events_file_exits_one(self, tmp_path, capsys):
+        assert cli.main(["top", str(tmp_path / "nope.jsonl"), "--once"]) == 1
+        assert "no events file" in capsys.readouterr().err

@@ -8,7 +8,15 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.obs.metrics import DEFAULT_MAX_SAMPLES, Counter, MetricsRegistry, Summary
+from repro.obs.metrics import (
+    DEFAULT_MAX_SAMPLES,
+    HIST_EDGES,
+    HIST_SCHEMA,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+)
 
 
 class TestCounter:
@@ -119,6 +127,119 @@ class TestSummary:
         assert left.max == seq.max
 
 
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram("t")
+        assert h.count == 0
+        assert math.isnan(h.percentile(50))
+        assert h.as_dict()["p95"] is None
+        assert h.digest()["counts"] == {}
+
+    def test_exact_fields_and_bucketing(self):
+        h = Histogram("t")
+        for v in [0.001, 0.01, 0.1]:
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(0.111)
+        assert h.min == 0.001
+        assert h.max == 0.1
+        # Exactly one bucket per decade-separated observation.
+        assert sum(1 for n in h.counts if n) == 3
+
+    def test_percentile_quantized_to_bucket_edge(self):
+        h = Histogram("t")
+        for _ in range(100):
+            h.observe(0.0012)
+        p50 = h.percentile(50)
+        # Upper edge of the bucket holding 0.0012, clamped to max.
+        assert 0.0012 <= p50 <= 0.0012 * (10 ** 0.25)
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram("t")
+        h.observe(0.5)
+        assert h.percentile(0) == 0.5
+        assert h.percentile(100) == 0.5
+
+    def test_underflow_and_overflow_buckets(self):
+        h = Histogram("t")
+        h.observe(0.0)  # below the smallest edge
+        h.observe(-1.0)
+        h.observe(1e9)  # above the largest edge
+        assert h.counts[0] == 2
+        assert h.counts[-1] == 1
+        # The overflow bucket has no upper edge: report the exact max.
+        assert h.percentile(100) == 1e9
+
+    def test_merge_equals_sequential(self):
+        values = [10 ** (i / 7 - 4) for i in range(60)]
+        seq = Histogram("seq")
+        for v in values:
+            seq.observe(v)
+        left, right = Histogram("l"), Histogram("r")
+        for v in values[:23]:
+            left.observe(v)
+        for v in values[23:]:
+            right.observe(v)
+        left.merge(right)
+        assert left.digest() == seq.digest()
+        assert left.total == pytest.approx(seq.total)
+
+    def test_state_roundtrip_is_exact(self):
+        h = Histogram("t")
+        for v in [0.002, 0.004, 7.5]:
+            h.observe(v)
+        clone = Histogram("c")
+        clone.merge_state(h.state())
+        assert clone.digest() == h.digest()
+        assert clone.total == pytest.approx(h.total)
+
+    def test_merge_state_rejects_schema_mismatch(self):
+        h = Histogram("t")
+        bad = Histogram("other").state()
+        bad["schema"] = "log10[-1:1:1]"
+        with pytest.raises(ValueError, match="schema mismatch"):
+            h.merge_state(bad)
+
+    def test_merge_empty_is_a_noop(self):
+        h = Histogram("t")
+        h.observe(1.0)
+        before = h.digest()
+        h.merge(Histogram("empty"))
+        h.merge_state(Histogram("empty").state())
+        assert h.digest() == before
+
+    def test_digest_excludes_float_total(self):
+        h = Histogram("t")
+        h.observe(0.1)
+        assert "total" not in h.digest()
+        assert h.digest()["schema"] == HIST_SCHEMA
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=199),
+    )
+    def test_merge_is_exactly_associative(self, values, split):
+        split = min(split, len(values))
+        seq = Histogram("seq")
+        for v in values:
+            seq.observe(v)
+        left, right = Histogram("l"), Histogram("r")
+        for v in values[:split]:
+            left.observe(v)
+        for v in values[split:]:
+            right.observe(v)
+        left.merge(right)
+        assert left.digest() == seq.digest()
+
+    def test_edges_are_increasing(self):
+        assert list(HIST_EDGES) == sorted(HIST_EDGES)
+        assert len(set(HIST_EDGES)) == len(HIST_EDGES)
+
+
 class TestMetricsRegistry:
     def test_create_on_first_use(self):
         reg = MetricsRegistry()
@@ -149,11 +270,26 @@ class TestMetricsRegistry:
         assert snap["summaries"]["seconds"]["count"] == 2
         assert snap["summaries"]["seconds"]["total"] == pytest.approx(1.0)
 
+    def test_histogram_dump_merge_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat").observe(0.002)
+        worker.histogram("lat").observe(0.2)
+        parent = MetricsRegistry()
+        parent.histogram("lat").observe(0.02)
+        parent.merge(worker.dump())
+        snap = parent.snapshot()
+        assert snap["histograms"]["lat"]["count"] == 3
+        assert parent.histogram("lat").digest()["count"] == 3
+
     def test_clear(self):
         reg = MetricsRegistry()
         reg.counter("a").inc()
         reg.clear()
-        assert reg.snapshot() == {"counters": {}, "summaries": {}}
+        assert reg.snapshot() == {
+            "counters": {},
+            "summaries": {},
+            "histograms": {},
+        }
 
 
 class TestMergeKindCollision:

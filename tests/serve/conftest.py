@@ -41,6 +41,25 @@ class HttpClient:
     async def get(self, path: str):
         return await self.request("GET", path)
 
+    async def get_raw(self, path: str):
+        """GET returning (status, header text, raw body) — for non-JSON."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                f"GET {path} HTTP/1.1\r\nHost: test\r\n"
+                "Connection: close\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        head, _, data = raw.partition(b"\r\n\r\n")
+        return int(head.split()[1]), head.decode("latin-1"), data.decode("utf-8")
+
     async def post(self, path: str, body):
         return await self.request("POST", path, body)
 

@@ -1,0 +1,156 @@
+"""Graceful-drain durability: events.jsonl is complete before export.
+
+Pins the shutdown ordering contract of :meth:`ServeDaemon.run`: drain,
+record the final spans/events, snapshot the registry, close the JSONL
+sink, *then* write the metrics dump — so the events file is whole on
+disk before (and regardless of) the export, even when the serving
+block raises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import ServeConfig, ServeDaemon
+from tests.serve.conftest import DaemonHarness, task_entry
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+class TestDrainDurability:
+    def test_events_complete_and_closed_before_export(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        at_export: dict = {}
+
+        async def main():
+            h = DaemonHarness(
+                cores=2,
+                log_json=str(events),
+                metrics_path=str(metrics),
+            )
+            original_export = h.daemon._export
+
+            def spying_export(snapshot):
+                # Captured at the exact moment the export begins: the
+                # sink must already be closed and the file whole.
+                at_export["text"] = events.read_text()
+                original_export(snapshot)
+
+            h.daemon._export = spying_export
+            async with h:
+                status, _ = await h.client.post(
+                    "/place", task_entry(1000.0, [1.0, 2.0], name="t0")
+                )
+                assert status == 200
+
+        run(main())
+        text = at_export["text"]
+        assert text.endswith("\n"), "torn final line at export time"
+        parsed = [json.loads(line) for line in text.splitlines()]
+        names = [e["event"] for e in parsed]
+        assert "serve.start" in names
+        assert "serve.stop" in names
+        # The daemon's root span is recorded before the sink closes,
+        # and serve.stop is the final event of the stream.
+        assert "span.serve.run" in names
+        assert names[-1] == "serve.stop"
+        # Sequence numbers are gapless: nothing was dropped in the drain.
+        assert [e["seq"] for e in parsed] == list(range(1, len(parsed) + 1))
+        # And the export itself completed after the spy ran.
+        dump = json.loads(metrics.read_text())
+        assert dump["metrics"]["counters"]["serve.place.accepted"] == 1
+
+    def test_export_survives_a_crashing_serve_block(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        daemon = ServeDaemon(
+            ServeConfig(
+                cores=2,
+                port=0,
+                log_json=str(events),
+                metrics_path=str(metrics),
+            )
+        )
+
+        async def boom():
+            raise RuntimeError("bind failed")
+
+        daemon.server.start = boom
+
+        async def main():
+            await daemon.run(asyncio.Event())
+
+        with pytest.raises(RuntimeError, match="bind failed"):
+            run(main())
+        # The metrics dump still landed, and the events file is whole
+        # with the errored root span recorded.
+        dump = json.loads(metrics.read_text())
+        assert dump["run_id"] == daemon.run_id
+        text = events.read_text()
+        assert text.endswith("\n")
+        spans = [
+            json.loads(line)
+            for line in text.splitlines()
+            if json.loads(line)["event"] == "span.serve.run"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["error"] is True
+
+    def test_slo_section_exported_when_rules_configured(self, tmp_path):
+        metrics = tmp_path / "metrics.json"
+
+        async def main():
+            h = DaemonHarness(
+                cores=2,
+                metrics_path=str(metrics),
+                slo=["rate(serve.rejected_503) == 0", "count(ghost) == 0"],
+            )
+            async with h:
+                status, _ = await h.client.post(
+                    "/place", task_entry(1000.0, [1.0, 2.0])
+                )
+                assert status == 200
+
+        run(main())
+        dump = json.loads(metrics.read_text())
+        assert dump["slo"]["alerts"] == 0
+        assert dump["slo"]["failing"] == []
+        assert len(dump["slo"]["rules"]) == 2
+
+    def test_slo_violation_is_alerted_and_exported(self, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "events.jsonl"
+
+        async def main():
+            h = DaemonHarness(
+                cores=2,
+                metrics_path=str(metrics),
+                log_json=str(events),
+                # Impossible latency bound: any request violates it.
+                slo=["p95(serve.place.seconds) < 1us"],
+                slo_interval_s=0.05,
+            )
+            async with h:
+                status, _ = await h.client.post(
+                    "/place", task_entry(1000.0, [1.0, 2.0])
+                )
+                assert status == 200
+                await asyncio.sleep(0.2)  # let the SLO loop tick
+
+        run(main())
+        dump = json.loads(metrics.read_text())
+        assert dump["slo"]["alerts"] == 1  # edge-triggered: exactly one
+        assert dump["slo"]["failing"] == ["p95(serve.place.seconds) < 1us"]
+        alerts = [
+            json.loads(line)
+            for line in events.read_text().splitlines()
+            if json.loads(line)["event"] == "slo.alert"
+        ]
+        assert len(alerts) == 1
+        assert alerts[0]["rule"] == "p95(serve.place.seconds) < 1us"

@@ -247,3 +247,53 @@ class TestGracefulShutdown:
 
         results = run(main())
         assert all(status == 200 for status, _ in results)
+
+
+class TestTelemetryEndpoints:
+    def test_prometheus_exposition(self):
+        async def main():
+            async with DaemonHarness(cores=2) as h:
+                await h.client.post("/place", task_entry(10.0, [1.0, 2.0]))
+                return await h.client.get_raw("/metrics?format=prometheus")
+
+        status, head, body = run(main())
+        assert status == 200
+        assert "text/plain" in head and "0.0.4" in head
+        assert "# TYPE serve_requests_total counter" in body
+        assert "# TYPE serve_place_seconds histogram" in body
+        assert 'serve_place_seconds_bucket{le="+Inf"}' in body
+        assert "# TYPE serve_queue_depth gauge" in body
+
+    def test_unknown_metrics_format_is_400(self):
+        async def main():
+            async with DaemonHarness(cores=2) as h:
+                return await h.client.get("/metrics?format=xml")
+
+        status, body = run(main())
+        assert status == 400
+        assert "format" in body["error"]
+
+    def test_json_metrics_still_default(self):
+        async def main():
+            async with DaemonHarness(cores=2) as h:
+                await h.client.post("/place", task_entry(10.0, [1.0, 2.0]))
+                return await h.client.get("/metrics")
+
+        status, body = run(main())
+        assert status == 200
+        assert body["metrics"]["counters"]["serve.place.accepted"] == 1
+
+    def test_metrics_history_schema(self):
+        async def main():
+            async with DaemonHarness(cores=2) as h:
+                await h.client.post("/place", task_entry(10.0, [1.0, 2.0]))
+                return await h.client.get("/metrics/history")
+
+        status, body = run(main())
+        assert status == 200
+        assert body["version"] == 1
+        assert sum(body["counters"]["serve.requests"]["values"]) >= 1
+        place = body["histograms"]["serve.place.seconds"]
+        assert place["window"]["count"] == 1
+        assert body["gauges"]["serve.tasks"] == 1.0
+        assert "serve.lambda" in body["gauges"]
