@@ -157,7 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
             *FIGURES.keys(),
             "tables",
             "all",
+            "dynamic",
             "validate",
+            "simulate",
             "inspect",
             "trace",
             "bench",
@@ -165,8 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
             "top",
         ],
         help=(
-            "which paper artifact to regenerate, 'validate' to fuzz the "
-            "cross-layer invariant oracles, 'inspect' to pretty-print "
+            "which paper artifact to regenerate, 'dynamic' for the "
+            "injected-event resilience sweep, 'validate' to fuzz the "
+            "cross-layer invariant oracles, 'simulate' to run one "
+            "partitioned EDF-VD simulation (optionally with an injected "
+            "event script), 'inspect' to pretty-print "
             "the run manifest of an existing artifact, 'trace' to analyse "
             "the span tree of an instrumented run, 'bench' to gate "
             "probe throughput against the committed baselines, 'serve' "
@@ -273,6 +278,72 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "where 'validate' writes shrunk counterexample JSON files "
             "(default: counterexamples/)"
+        ),
+    )
+    sim_group = parser.add_argument_group("simulate options")
+    sim_group.add_argument(
+        "--taskset",
+        metavar="PATH",
+        default=None,
+        help=(
+            "simulate: task-set JSON (repro-mc-taskset format) to "
+            "partition (--scheme, --cores) and simulate"
+        ),
+    )
+    sim_group.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help=(
+            "simulate: injected-event script JSON (repro-mc-events "
+            "format); validated up front against the partition"
+        ),
+    )
+    sim_group.add_argument(
+        "--scheme",
+        default="ca-tpa",
+        help="simulate: partitioning scheme from the registry (default ca-tpa)",
+    )
+    sim_group.add_argument(
+        "--scenario",
+        choices=("honest", "random", "level"),
+        default="random",
+        help=(
+            "simulate: execution-demand scenario; 'random' overruns "
+            "with --overrun-prob (default random)"
+        ),
+    )
+    sim_group.add_argument(
+        "--overrun-prob",
+        type=float,
+        default=0.1,
+        help="simulate: per-job overrun probability of --scenario random",
+    )
+    sim_group.add_argument(
+        "--cycles",
+        type=float,
+        default=20.0,
+        help=(
+            "simulate: horizon in multiples of the longest period "
+            "(default 20)"
+        ),
+    )
+    sim_group.add_argument(
+        "--allow-infeasible",
+        action="store_true",
+        help=(
+            "simulate: run cores that fail the Theorem-1 analysis under "
+            "plain EDF instead of refusing (misses are then expected)"
+        ),
+    )
+    dynamic_group = parser.add_argument_group("dynamic options")
+    dynamic_group.add_argument(
+        "--burst-factors",
+        metavar="CSV",
+        default=None,
+        help=(
+            "dynamic: comma-separated WCET burst factors to sweep "
+            "(default 1.0,1.5,2.0,3.0,4.0)"
         ),
     )
     trace_group = parser.add_argument_group("trace options")
@@ -557,6 +628,203 @@ def _bench(args) -> int:
     return code
 
 
+def _write_metrics(args, run_id, command, snapshot) -> None:
+    """Dump the merged instrumentation snapshot to ``--metrics PATH``."""
+    metrics_path = Path(args.metrics)
+    metrics_path.parent.mkdir(parents=True, exist_ok=True)
+    metrics_path.write_text(
+        json.dumps(
+            {
+                "run_id": run_id,
+                "repro_version": __version__,
+                "command": command,
+                "metrics": snapshot,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def _simulate(args, command: list[str]) -> int:
+    """``repro-mc simulate``: one partitioned EDF-VD run, optionally
+    under an injected-event script (``--events``)."""
+    from repro.model import load_events, load_taskset
+    from repro.partition.registry import get_partitioner
+    from repro.sched import (
+        EventInjectionRuntime,
+        HonestScenario,
+        LevelScenario,
+        RandomScenario,
+        SystemSimulator,
+        default_horizon,
+    )
+
+    if args.paths:
+        print(
+            f"repro-mc simulate: unexpected positional arguments {args.paths}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.taskset is None:
+        print(
+            "repro-mc simulate: --taskset PATH is required",
+            file=sys.stderr,
+        )
+        return 2
+    taskset = load_taskset(args.taskset)
+    result = get_partitioner(args.scheme).partition(taskset, args.cores)
+    if not result.partition.is_complete:
+        print(
+            f"repro-mc simulate: {args.scheme} could not place every task "
+            f"on {args.cores} cores (failed at task {result.failed_task}); "
+            "nothing to simulate",
+            file=sys.stderr,
+        )
+        return 1
+    if not result.schedulable and not args.allow_infeasible:
+        print(
+            f"repro-mc simulate: the {args.scheme} partition fails the "
+            "schedulability analysis; pass --allow-infeasible to simulate "
+            "it anyway",
+            file=sys.stderr,
+        )
+        return 1
+    horizon = default_horizon(result.partition, cycles=args.cycles)
+    runtime = None
+    if args.events is not None:
+        runtime = EventInjectionRuntime(
+            load_events(args.events), horizon=horizon
+        )
+    scenario = {
+        "honest": lambda: HonestScenario(),
+        "random": lambda: RandomScenario(overrun_prob=args.overrun_prob),
+        "level": lambda: LevelScenario(target=taskset.levels),
+    }[args.scenario]()
+    sim = SystemSimulator(
+        result.partition,
+        scenario,
+        horizon=horizon,
+        allow_infeasible=args.allow_infeasible,
+        events=runtime,
+    )
+
+    instrumented = bool(args.log_json or args.metrics)
+    run_id = new_run_id() if instrumented else None
+    sink = JsonlSink(args.log_json) if args.log_json else None
+    snapshot = None
+    try:
+        if instrumented:
+            with obs_runtime.instrument(sink=sink, run_id=run_id) as state:
+                obs_runtime.emit(
+                    "cli.simulate_start",
+                    taskset=args.taskset,
+                    events=args.events,
+                    scheme=args.scheme,
+                )
+                with obs_runtime.span("cli.simulate"):
+                    report = sim.run(seed=args.seed)
+                snapshot = state.registry.snapshot()
+        else:
+            report = sim.run(seed=args.seed)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    lines = [
+        f"simulate: {len(taskset)} tasks on {args.cores} cores "
+        f"({args.scheme}), horizon {horizon:g}, scenario {args.scenario}, "
+        f"seed {args.seed}",
+        f"  schedulable offline: {result.schedulable}",
+    ]
+    for key, value in sorted(report.telemetry().items()):
+        lines.append(f"  {key}: {value}")
+    for key, value in sorted(report.event_telemetry().items()):
+        lines.append(f"  {key}: {value}")
+    print("\n".join(lines), file=args.out)
+    if args.metrics is not None:
+        _write_metrics(args, run_id, command, snapshot)
+    return 0
+
+
+def _run_dynamic(args, jobs, store, progress, command) -> int:
+    """``repro-mc dynamic``: the injected-event resilience sweep."""
+    from repro.experiments.dynamic import (
+        DEFAULT_BURST_FACTORS,
+        format_dynamic,
+        run_dynamic_sweep,
+    )
+
+    if args.burst_factors is None:
+        factors = DEFAULT_BURST_FACTORS
+    else:
+        try:
+            factors = tuple(
+                float(tok) for tok in args.burst_factors.split(",") if tok
+            )
+        except ValueError:
+            print(
+                f"repro-mc dynamic: --burst-factors must be a comma-"
+                f"separated float list, got {args.burst_factors!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if not factors:
+            print(
+                "repro-mc dynamic: --burst-factors is empty", file=sys.stderr
+            )
+            return 2
+    instrumented = bool(args.log_json or args.metrics)
+    run_id = new_run_id() if instrumented else None
+    sink = JsonlSink(args.log_json) if args.log_json else None
+    snapshot = None
+    start = time.perf_counter()
+    try:
+        if instrumented:
+            with obs_runtime.instrument(sink=sink, run_id=run_id) as state:
+                obs_runtime.emit(
+                    "cli.dynamic_start", sets=args.sets, seed=args.seed
+                )
+                with obs_runtime.span("cli.dynamic"):
+                    result = run_dynamic_sweep(
+                        factors,
+                        sets=args.sets,
+                        seed=args.seed,
+                        jobs=jobs,
+                        store=store,
+                        progress=progress,
+                        probe_impl=args.probe_impl,
+                    )
+                snapshot = state.registry.snapshot()
+        else:
+            result = run_dynamic_sweep(
+                factors,
+                sets=args.sets,
+                seed=args.seed,
+                jobs=jobs,
+                store=store,
+                progress=progress,
+                probe_impl=args.probe_impl,
+            )
+    finally:
+        if sink is not None:
+            sink.close()
+    print(format_dynamic(result), file=args.out)
+    print(
+        f"[dynamic regenerated in {time.perf_counter() - start:.1f}s]",
+        file=args.out,
+    )
+    if args.json is not None:
+        directory = Path(args.json)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "dynamic.json").write_text(
+            json.dumps(result.to_dict(), indent=2) + "\n"
+        )
+    if args.metrics is not None:
+        _write_metrics(args, run_id, command, snapshot)
+    return 0
+
+
 def _run_validate(args, jobs, store, progress, command) -> int:
     """``repro-mc validate``: fuzz the oracle registry, shrink failures."""
     from repro.validate import run_campaign, shrink_failure, write_repro
@@ -710,6 +978,12 @@ def _dispatch(args, command: list[str]) -> int:
         return _serve(args, command)
     if args.experiment == "top":
         return _top(args)
+    if args.experiment == "simulate":
+        try:
+            return _simulate(args, command)
+        except ReproError as exc:
+            print(f"repro-mc simulate: {exc}", file=sys.stderr)
+            return 1
     if args.paths:
         print(
             f"repro-mc {args.experiment}: unexpected positional arguments "
@@ -728,6 +1002,8 @@ def _dispatch(args, command: list[str]) -> int:
 
     if args.experiment == "validate":
         return _run_validate(args, jobs, store, progress, command)
+    if args.experiment == "dynamic":
+        return _run_dynamic(args, jobs, store, progress, command)
 
     # One run id + (optional) shared event log per invocation; each
     # figure gets a fresh registry whose dump is merged into the totals

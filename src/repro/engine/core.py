@@ -186,7 +186,20 @@ _SHARD_KINDS: dict[str, ShardKind] = {}
 #: import eagerly (it would be a circular / upward dependency).  Looked
 #: up on first use — including inside spawned worker processes, whose
 #: interpreters start with only the engine imported.
-_KIND_PROVIDERS = {"validate": "repro.validate.fuzz"}
+_KIND_PROVIDERS = {
+    "validate": "repro.validate.fuzz",
+    "dynsim": "repro.experiments.dynamic",
+}
+
+
+def _shard_run_kwargs(params: tuple[tuple[str, object], ...]) -> dict:
+    """Kind-specific knobs as runner kwargs.
+
+    Only kinds that declare :attr:`PointSpec.params` receive the extra
+    ``params`` argument, so the legacy 5-argument runner signature (and
+    with it every existing shard hash) is untouched.
+    """
+    return {"params": dict(params)} if params else {}
 
 
 def register_shard_kind(
@@ -220,6 +233,7 @@ def _run_shard_job(
     count: int,
     collect_metrics: bool,
     probe_impl: str = "batch",
+    params: tuple[tuple[str, object], ...] = (),
 ):
     """Worker-process entry point: run one shard, optionally with metrics.
 
@@ -239,14 +253,19 @@ def _run_shard_job(
     ``(result, metrics_dump_or_None, span_records_or_None)``.
     """
     run_shard = shard_kind(kind).run
+    extra = _shard_run_kwargs(params)
     with use_probe_implementation(probe_impl):
         if not collect_metrics:
-            return run_shard(config, schemes, seed, start, count), None, None
+            return (
+                run_shard(config, schemes, seed, start, count, **extra),
+                None,
+                None,
+            )
         with obs.collect() as registry:
             with obs.span(
                 "engine.shard.compute", set_start=start, set_count=count
             ):
-                result = run_shard(config, schemes, seed, start, count)
+                result = run_shard(config, schemes, seed, start, count, **extra)
             return result, registry.dump(), obs.drain_spans()
 
 
@@ -426,6 +445,7 @@ class Engine:
     ) -> dict[int, object]:
         """Run the uncached shards, checkpointing each as it completes."""
         run_shard = shard_kind(point.kind).run
+        extra = _shard_run_kwargs(point.params)
         results: dict[int, object] = {}
 
         def finish(start: int, count: int, result, seconds: float) -> None:
@@ -446,7 +466,12 @@ class Engine:
                         "engine.shard", set_start=start, set_count=count
                     ):
                         result = run_shard(
-                            point.config, point.schemes, point.seed, start, count
+                            point.config,
+                            point.schemes,
+                            point.seed,
+                            start,
+                            count,
+                            **extra,
                         )
                     finish(start, count, result, time.perf_counter() - t0)
             return results
@@ -466,6 +491,7 @@ class Engine:
                         count,
                         collect_metrics,
                         impl,
+                        point.params,
                     )
                     for start, count in missing
                 ]
@@ -496,7 +522,12 @@ class Engine:
                             retried=True,
                         ), use_probe_implementation(impl):
                             result = run_shard(
-                                point.config, point.schemes, point.seed, start, count
+                                point.config,
+                                point.schemes,
+                                point.seed,
+                                start,
+                                count,
+                                **extra,
                             )
                         metrics_dump = None  # inline retry fed the registry
                         span_records = None

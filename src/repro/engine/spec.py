@@ -30,10 +30,12 @@ __all__ = [
 #: Evaluation modes a :class:`PointSpec` supports: ``stats`` accumulates
 #: the four paper metrics per scheme; ``h2h`` tallies the pairwise
 #: dominance matrix over the common task-set batch; ``validate`` sweeps
-#: the task sets through the :mod:`repro.validate` oracle registry.
-#: The engine resolves each kind's runner/codec through its shard-kind
-#: registry (:func:`repro.engine.core.shard_kind`).
-POINT_KINDS = ("stats", "h2h", "validate")
+#: the task sets through the :mod:`repro.validate` oracle registry;
+#: ``dynsim`` simulates each set under an injected-event script
+#: (:mod:`repro.experiments.dynamic`).  The engine resolves each kind's
+#: runner/codec through its shard-kind registry
+#: (:func:`repro.engine.core.shard_kind`).
+POINT_KINDS = ("stats", "h2h", "validate", "dynsim")
 
 
 @dataclass(frozen=True)
@@ -98,6 +100,10 @@ class PointSpec:
     sets: int = 200
     seed: int = 2016
     kind: str = "stats"
+    #: kind-specific knobs, sorted ``(key, value)`` pairs (e.g. the
+    #: ``dynsim`` burst factor).  Kept out of :meth:`to_dict` when empty
+    #: so every pre-existing point keeps its shard hashes.
+    params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.sets < 1:
@@ -117,13 +123,16 @@ class PointSpec:
         return tuple(s.label for s in self.schemes)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "config": self.config.to_dict(),
             "schemes": [s.to_dict() for s in self.schemes],
             "sets": self.sets,
             "seed": self.seed,
             "kind": self.kind,
         }
+        if self.params:
+            data["params"] = {k: v for k, v in self.params}
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PointSpec":
@@ -133,6 +142,7 @@ class PointSpec:
             sets=int(data["sets"]),
             seed=int(data["seed"]),
             kind=data["kind"],
+            params=tuple(sorted(data.get("params", {}).items())),
         )
 
 

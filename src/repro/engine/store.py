@@ -99,6 +99,10 @@ def shard_key(
         "count": count,
         "probe_impl": probe_impl,
     }
+    if point.params:
+        # Folded in only when present: every pre-existing point (no
+        # params) keeps the shard hashes it was checkpointed under.
+        content["params"] = {k: v for k, v in point.params}
     return hashlib.sha256(_canonical(content).encode("utf-8")).hexdigest()
 
 

@@ -9,6 +9,13 @@ structured :class:`~repro.engine.SweepArtifact` schema.
 
 from repro.engine.artifact import PointResult, SweepArtifact
 from repro.experiments.compare import HeadToHead, format_head_to_head, head_to_head
+from repro.experiments.dynamic import (
+    DEFAULT_BURST_FACTORS,
+    DynamicSweepResult,
+    dynamic_point,
+    format_dynamic,
+    run_dynamic_sweep,
+)
 from repro.experiments.export import save_sweep_csv, sweep_to_csv
 from repro.experiments.weighted import weighted_schedulability
 from repro.experiments.report import (
@@ -40,8 +47,13 @@ from repro.experiments.tables import (
 
 __all__ = [
     "AllocationStep",
+    "DEFAULT_BURST_FACTORS",
+    "DynamicSweepResult",
     "FIGURES",
     "HeadToHead",
+    "dynamic_point",
+    "format_dynamic",
+    "run_dynamic_sweep",
     "PointResult",
     "SweepArtifact",
     "format_head_to_head",

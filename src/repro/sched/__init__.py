@@ -1,6 +1,18 @@
 """Discrete-event runtime simulation of partitioned EDF-VD with AMC."""
 
 from repro.sched.core_sim import CoreReport, CoreSimulator, DeadlineMiss
+from repro.sched.events import (
+    EVENT_KINDS,
+    EventInjectionRuntime,
+    EventOutcome,
+    SimEvent,
+    core_failure,
+    core_hotplug,
+    mode_recovery,
+    task_arrival,
+    task_departure,
+    wcet_burst,
+)
 from repro.sched.job import Job
 from repro.sched.scenario import (
     ExecutionScenario,
@@ -25,7 +37,11 @@ __all__ = [
     "CoreReport",
     "CoreSimulator",
     "DeadlineMiss",
+    "EVENT_KINDS",
+    "EventInjectionRuntime",
     "EventKind",
+    "EventOutcome",
+    "SimEvent",
     "ExecutionScenario",
     "ExecutionSlice",
     "FaultyScenario",
@@ -41,8 +57,14 @@ __all__ = [
     "SystemSimulator",
     "Trace",
     "TraceEvent",
+    "core_failure",
+    "core_hotplug",
     "default_horizon",
     "dual_global_plan",
     "fp_core_simulator",
+    "mode_recovery",
     "render_timeline",
+    "task_arrival",
+    "task_departure",
+    "wcet_burst",
 ]

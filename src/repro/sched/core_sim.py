@@ -122,6 +122,7 @@ class CoreSimulator:
         record_trace: bool = False,
         priority_fn=None,
         releases=None,
+        events=None,
     ):
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
@@ -143,6 +144,16 @@ class CoreSimulator:
         #: arrival model; ``None`` means strictly periodic releases.
         #: See :mod:`repro.sched.releases`.
         self.releases = releases
+        #: compiled per-core event adapter
+        #: (:class:`repro.sched.events.CoreEventView`) or ``None``.  With
+        #: ``None`` every event hook below short-circuits and the loop is
+        #: the original static simulation, bit for bit.
+        self.events = events
+        if events is not None and len(events.joins) != len(subset):
+            raise SimulationError(
+                f"event view describes {len(events.joins)} membership "
+                f"entries but the subset has {len(subset)} tasks"
+            )
 
     # ------------------------------------------------------------------
     def run(self) -> CoreReport:
@@ -151,7 +162,32 @@ class CoreSimulator:
         n = len(subset)
         periods = np.array([t.period for t in subset], dtype=np.float64)
         levels = subset.criticalities
-        next_release = np.zeros(n, dtype=np.float64)
+
+        # Injected-event state (all inert when no view is attached: the
+        # extra comparisons below are against +inf / None and change no
+        # float nor any RNG draw of the static path).
+        view = self.events
+        if view is None:
+            next_release = np.zeros(n, dtype=np.float64)
+            leaves = None
+            burst = None
+            recovery = None
+            fail_times: tuple[float, ...] = ()
+            plan_changes = ()
+            tallies: dict[str, int] | None = None
+        else:
+            next_release = view.joins.astype(np.float64, copy=True)
+            leaves = view.leaves
+            # Entries whose residency is empty never release.
+            next_release[leaves <= next_release + TIME_EPS] = np.inf
+            burst = view.burst
+            recovery = view.recovery
+            fail_times = view.failures
+            plan_changes = view.plan_changes
+            tallies = view.tallies
+        fail_idx = 0
+        next_fail = fail_times[0] if fail_times else np.inf
+        plan_idx = 0
 
         mode = 1
         time = 0.0
@@ -193,6 +229,11 @@ class CoreSimulator:
                 task = subset[int(i)]
                 r = float(next_release[i])
                 exec_time = float(self.scenario.draw(task, self.rng))
+                if burst is not None:
+                    factor = burst.factor(int(i), r)
+                    if factor != 1.0:
+                        exec_time *= factor
+                        tallies["burst_jobs"] += 1
                 if exec_time <= 0:
                     raise SimulationError(
                         f"scenario produced non-positive execution time {exec_time}"
@@ -225,7 +266,13 @@ class CoreSimulator:
                             "release model produced an interarrival below"
                             f" the period ({gap} < {periods[i]})"
                         )
-                next_release[i] = r + gap
+                upcoming_release = r + gap
+                if leaves is not None and time_reached(
+                    upcoming_release, float(leaves[i])
+                ):
+                    # The residency ends first: no release at/after it.
+                    upcoming_release = np.inf
+                next_release[i] = upcoming_release
 
         def raise_mode(now: float) -> None:
             nonlocal mode
@@ -262,16 +309,62 @@ class CoreSimulator:
                     )
                 )
 
+        def apply_failure(now: float) -> None:
+            """Core goes offline: drop everything in flight, silence the
+            residents that left, restart (a later hotplug) at mode 1."""
+            nonlocal mode
+            for _, _, job in ready:
+                job.dropped_at = now
+                report.dropped += 1
+                tallies["failure_drops"] += 1
+                record(EventKind.DROP, now, job.task_index)
+            ready.clear()
+            next_release[leaves <= now + TIME_EPS] = np.inf
+            mode = 1  # not an idle reset: the core restarts empty
+
         while not time_reached(time, horizon):
+            if time_reached(time, next_fail):
+                apply_failure(next_fail)
+                fail_idx += 1
+                next_fail = (
+                    fail_times[fail_idx]
+                    if fail_idx < len(fail_times)
+                    else np.inf
+                )
+                continue
+            # Membership changed: rebind the deadline-scaling plan at the
+            # next scheduling point at/after the epoch boundary (jobs
+            # already keyed keep the plan they were released under).
+            while plan_idx < len(plan_changes) and time_reached(
+                time, plan_changes[plan_idx][0]
+            ):
+                plan = plan_changes[plan_idx][1]
+                plan_idx += 1
+                rebuild()
             release_due(time)
             if not ready:
-                if mode != 1:
-                    # Idle instant: AMC resets to the lowest mode.
-                    mode = 1
-                    report.idle_resets += 1
-                    record(EventKind.IDLE_RESET, time)
                 upcoming = float(next_release.min())
-                time = min(upcoming, horizon)
+                idle_until = min(upcoming, horizon, next_fail)
+                if recovery is None:
+                    if mode != 1:
+                        # Idle instant: AMC resets to the lowest mode.
+                        mode = 1
+                        report.idle_resets += 1
+                        record(EventKind.IDLE_RESET, time)
+                else:
+                    # Explicit-recovery protocol: the reset needs an idle
+                    # instant *inside a sanctioned window* (consumed
+                    # while already at mode 1 -> no-op).
+                    applied, consumed = recovery.claim(time, idle_until)
+                    if consumed:
+                        if mode != 1:
+                            mode = 1
+                            report.idle_resets += 1
+                            record(EventKind.IDLE_RESET, applied)
+                            tallies["mode_recovery_applied"] += consumed
+                        else:
+                            tallies["mode_recovery_noop"] += consumed
+                time = idle_until
                 continue
 
             vd, _, job = ready[0]
@@ -293,7 +386,7 @@ class CoreSimulator:
                         budget_trigger = time + (budget - job.executed)
 
             completion_at = time + job.remaining
-            run_until = min(completion_at, next_event, budget_trigger)
+            run_until = min(completion_at, next_event, budget_trigger, next_fail)
             delta = run_until - time
             if delta < -TIME_EPS:
                 raise SimulationError("simulation time went backwards")
@@ -333,6 +426,9 @@ class CoreSimulator:
             # else: a release preempts; loop handles it.
 
         # Horizon reached: pending jobs whose deadline passed are misses.
+        if recovery is not None:
+            # Recovery windows no idle instant ever covered.
+            tallies["mode_recovery_missed"] += recovery.unconsumed()
         report.pending = len(ready)
         for _, _, job in ready:
             if not time_after(job.deadline, horizon) and time_after(job.remaining, 0.0):

@@ -1,0 +1,835 @@
+"""Validated runtime event injection for the partitioned simulator.
+
+The static simulator answers "does this partition survive this
+scenario?"; the event runtime answers "does it survive this scenario
+*while the world changes underneath it*?".  An
+:class:`EventInjectionRuntime` holds a validated, time-sorted registry
+of :class:`SimEvent` records and compiles them — against a concrete
+partition — into per-core read-only adapters
+(:class:`CoreEventView`) that :class:`~repro.sched.CoreSimulator`
+consults at its release / dispatch / finish points.  The hot loop never
+switches on event kinds; everything data-dependent is resolved up front:
+
+* **validation** happens before any simulation: malformed events
+  (negative durations, ends past the horizon, unknown kinds) are
+  rejected at construction, unknown task/core ids and impossible
+  sequences (failing an offline core, departing twice) are rejected by
+  :meth:`EventInjectionRuntime.validate_against` — always as a clean
+  :class:`~repro.types.SimulationError`, never a deep numpy traceback;
+* **compilation** (:meth:`EventInjectionRuntime.compile`) replays the
+  structural events chronologically against a *live* copy of the
+  partition: arrivals are admitted through the same Theorem-1 probe
+  backends the serve daemon uses (rejections are counted, not crashed),
+  core failures displace their residents and re-partition them onto the
+  surviving cores best-probe-first (Λ is re-reported before/after), and
+  the result is a cumulative membership timeline — per core, who is
+  resident when, under which deadline-scaling plan;
+* at **run time** the core simulator only reads arrays: per-entry
+  join/leave instants, failure instants, a plan schedule, per-entry
+  WCET-burst intervals, and (optionally) a mode-recovery tracker.
+
+Event kinds (schema v1)
+-----------------------
+``wcet_burst``
+    While active (``start <= release < end``), the drawn execution
+    demand of every job of the matching tasks is multiplied by
+    ``factor``.  ``tasks=None`` matches every task (arrivals included);
+    an explicit list names base-taskset indices.  Factors of overlapping
+    bursts multiply.  A zero-length burst is a legal no-op.
+``task_arrival``
+    A new :class:`~repro.model.task.MCTask` asks to join at ``start``.
+    It is probed on every online core (Eq. (15)); the feasible core
+    with the smallest probe wins (ties to the lowest index, exactly as
+    ``repro.serve`` places tasks).  No feasible core → the arrival is
+    *rejected* and counted, the run continues.
+``task_departure``
+    The base task ``task_index`` leaves at ``start``: releases strictly
+    before the instant still happen, the release at/after it does not.
+    An in-flight job of the departing task finishes normally.
+``core_failure`` / ``core_hotplug``
+    The core goes offline / comes back (empty).  At a failure instant
+    every ready/running job on the core is dropped and its residents
+    are re-partitioned onto the surviving cores (criticality-aware:
+    highest criticality first, then largest utilization), each through
+    the probe backend; tasks with no feasible core are *lost* and
+    counted.  Displaced tasks restart their release pattern on the new
+    core at the failure instant.
+``mode_recovery``
+    A sanctioned recovery window ``[start, end]``.  Its presence
+    switches every simulated core from automatic idle resets to the
+    *explicit recovery* protocol: the core returns to mode 1 only at an
+    idle instant inside an unconsumed window (pinned against the
+    existing ``idle_resets`` machinery — a window consumed while
+    already at mode 1 is a no-op, a window no idle instant ever covers
+    is missed; all three outcomes are counted).
+
+Instantaneous kinds (arrival / departure / failure / hotplug) must have
+``end == start``; windowed kinds (burst / recovery) need
+``end >= start``.  All times must satisfy ``0 <= start <= end <=
+horizon``.
+
+The runtime is deliberately *static*: every placement decision is made
+at compile time, before the first job is drawn, so a compiled schedule
+is deterministic, reusable across seeds, and free for the simulation
+hot path.  With zero events attached the simulator takes its original
+code path untouched — injection is provably zero-impact when unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.virtual_deadlines import (
+    VirtualDeadlineAssignment,
+    assign_virtual_deadlines,
+)
+from repro.metrics.core import imbalance_factor
+from repro.model.partition import Partition
+from repro.model.task import MCTask
+from repro.model.taskset import MCTaskSet
+from repro.obs.runtime import span
+from repro.partition.backend import get_backend
+from repro.partition.probe import probe_implementation
+from repro.types import SimulationError
+
+__all__ = [
+    "EVENT_KINDS",
+    "SimEvent",
+    "wcet_burst",
+    "task_arrival",
+    "task_departure",
+    "core_failure",
+    "core_hotplug",
+    "mode_recovery",
+    "EventInjectionRuntime",
+    "CompiledEvents",
+    "CoreEventView",
+    "EventOutcome",
+    "Membership",
+    "identity_plan",
+]
+
+#: Recognized event kinds (schema v1).
+EVENT_KINDS: tuple[str, ...] = (
+    "wcet_burst",
+    "task_arrival",
+    "task_departure",
+    "core_failure",
+    "core_hotplug",
+    "mode_recovery",
+)
+
+def identity_plan(levels: int) -> VirtualDeadlineAssignment:
+    """Plain-EDF deadline scaling (no virtual-deadline shrinking)."""
+    return VirtualDeadlineAssignment(
+        k_star=1,
+        lambdas=(0.0,) * levels,
+        top_level_scale=1.0,
+        levels=levels,
+    )
+
+
+#: Kinds that happen at one instant (``end == start`` enforced).
+_INSTANT_KINDS = frozenset(
+    {"task_arrival", "task_departure", "core_failure", "core_hotplug"}
+)
+
+# Mirror of the simulator's single comparison tolerance (importing it
+# from core_sim would create a cycle: core_sim consumes the views built
+# here).  Pinned equal by a test.
+_TIME_EPS = 1e-9
+
+
+def _time_after(a: float, b: float) -> bool:
+    return a > b + _TIME_EPS
+
+
+def _time_reached(a: float, b: float) -> bool:
+    return a >= b - _TIME_EPS
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One validated, time-bounded injection event.
+
+    ``start``/``end`` are the event's markers on the cumulative
+    timeline.  Kind-specific payload lives in the optional fields; the
+    constructor rejects structurally malformed events immediately
+    (wrong kind, negative duration, missing/invalid payload) so a bad
+    event file can never reach the simulator.
+    """
+
+    kind: str
+    start: float
+    end: float
+    #: ``wcet_burst``: multiplier applied to drawn demands (> 0).
+    factor: float | None = None
+    #: ``wcet_burst``: base-taskset indices to match (``None`` = all).
+    tasks: tuple[int, ...] | None = None
+    #: ``task_arrival``: the arriving task.
+    task: MCTask | None = None
+    #: ``task_departure``: base-taskset index of the departing task.
+    task_index: int | None = None
+    #: ``core_failure`` / ``core_hotplug``: the affected core.
+    core: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise SimulationError(
+                f"unknown event kind {self.kind!r}; "
+                f"known kinds: {', '.join(EVENT_KINDS)}"
+            )
+        start, end = float(self.start), float(self.end)
+        if not (np.isfinite(start) and np.isfinite(end)):
+            raise SimulationError(
+                f"{self.kind} event markers must be finite, "
+                f"got start={self.start}, end={self.end}"
+            )
+        if start < 0.0:
+            raise SimulationError(
+                f"{self.kind} event starts before time 0 (start={start})"
+            )
+        if end < start:
+            raise SimulationError(
+                f"{self.kind} event has negative duration "
+                f"(start={start}, end={end})"
+            )
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+        if self.kind in _INSTANT_KINDS and end != start:
+            raise SimulationError(
+                f"{self.kind} is instantaneous; end must equal start "
+                f"(got start={start}, end={end})"
+            )
+        if self.kind == "wcet_burst":
+            if self.factor is None or not np.isfinite(self.factor):
+                raise SimulationError("wcet_burst requires a finite factor")
+            object.__setattr__(self, "factor", float(self.factor))
+            if self.factor <= 0.0:
+                raise SimulationError(
+                    f"wcet_burst factor must be positive, got {self.factor}"
+                )
+            if self.tasks is not None:
+                idx = tuple(int(i) for i in self.tasks)
+                if any(i < 0 for i in idx):
+                    raise SimulationError(
+                        f"wcet_burst task indices must be >= 0, got {idx}"
+                    )
+                object.__setattr__(self, "tasks", idx)
+        elif self.kind == "task_arrival":
+            if not isinstance(self.task, MCTask):
+                raise SimulationError("task_arrival requires an MCTask payload")
+        elif self.kind == "task_departure":
+            if self.task_index is None or int(self.task_index) < 0:
+                raise SimulationError(
+                    "task_departure requires a task_index >= 0, "
+                    f"got {self.task_index}"
+                )
+            object.__setattr__(self, "task_index", int(self.task_index))
+        elif self.kind in ("core_failure", "core_hotplug"):
+            if self.core is None or int(self.core) < 0:
+                raise SimulationError(
+                    f"{self.kind} requires a core index >= 0, got {self.core}"
+                )
+            object.__setattr__(self, "core", int(self.core))
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (the JSON loader and tests go through these)
+# ----------------------------------------------------------------------
+def wcet_burst(
+    start: float,
+    end: float,
+    factor: float,
+    tasks: Sequence[int] | None = None,
+) -> SimEvent:
+    """Demand multiplier ``factor`` on ``tasks`` while ``start <= t < end``."""
+    return SimEvent(
+        kind="wcet_burst",
+        start=start,
+        end=end,
+        factor=factor,
+        tasks=None if tasks is None else tuple(tasks),
+    )
+
+
+def task_arrival(time: float, task: MCTask) -> SimEvent:
+    """``task`` asks to join the system at ``time``."""
+    return SimEvent(kind="task_arrival", start=time, end=time, task=task)
+
+
+def task_departure(time: float, task_index: int) -> SimEvent:
+    """Base task ``task_index`` leaves the system at ``time``."""
+    return SimEvent(
+        kind="task_departure", start=time, end=time, task_index=task_index
+    )
+
+
+def core_failure(time: float, core: int) -> SimEvent:
+    """Core ``core`` goes offline at ``time`` (residents re-partitioned)."""
+    return SimEvent(kind="core_failure", start=time, end=time, core=core)
+
+
+def core_hotplug(time: float, core: int) -> SimEvent:
+    """Core ``core`` comes back online (empty) at ``time``."""
+    return SimEvent(kind="core_hotplug", start=time, end=time, core=core)
+
+
+def mode_recovery(start: float, end: float) -> SimEvent:
+    """Sanctioned recovery-to-low window ``[start, end]``."""
+    return SimEvent(kind="mode_recovery", start=start, end=end)
+
+
+# ----------------------------------------------------------------------
+# Compiled artifacts consumed by the simulators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Membership:
+    """One residency interval of a task on a core: ``[join, leave)``."""
+
+    global_index: int  #: index in the compiled full task set
+    task: MCTask
+    join: float
+    leave: float  #: ``inf`` when the task never leaves the core
+
+
+class _BurstIndex:
+    """Per-entry burst intervals; answers the factor at a release instant."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: tuple[tuple[tuple[float, float, float], ...], ...]):
+        self._intervals = intervals
+
+    def factor(self, entry: int, release: float) -> float:
+        f = 1.0
+        for s, e, factor in self._intervals[entry]:
+            if _time_reached(release, s) and _time_after(e, release):
+                f *= factor
+        return f
+
+    @property
+    def intervals(self):
+        return self._intervals
+
+
+class _RecoveryTracker:
+    """Consumes ``mode_recovery`` windows against idle intervals.
+
+    One tracker per simulated core per run (windows are per-core
+    opportunities: AMC mode is core-local state).
+    """
+
+    __slots__ = ("_windows",)
+
+    def __init__(self, windows: Iterable[tuple[float, float]]):
+        self._windows = [[float(s), float(e), False] for s, e in windows]
+
+    def claim(self, idle0: float, idle1: float) -> tuple[float | None, int]:
+        """Consume every unconsumed window overlapping ``[idle0, idle1)``.
+
+        Returns ``(earliest instant a reset may apply, windows consumed)``.
+        """
+        if not _time_after(idle1, idle0):
+            return None, 0
+        applied: float | None = None
+        consumed = 0
+        for w in self._windows:
+            if w[2] or not _time_after(idle1, w[0]) or not _time_reached(w[1], idle0):
+                continue
+            w[2] = True
+            consumed += 1
+            at = max(idle0, w[0])
+            applied = at if applied is None else min(applied, at)
+        return applied, consumed
+
+    def unconsumed(self) -> int:
+        return sum(1 for w in self._windows if not w[2])
+
+
+class CoreEventView:
+    """Read-only per-core adapter the core simulator consults.
+
+    Everything is resolved to arrays/instants at compile time; the
+    simulator's hot loop reads, it never interprets events.
+    """
+
+    __slots__ = (
+        "joins",
+        "leaves",
+        "failures",
+        "plan_changes",
+        "burst",
+        "recovery",
+        "tallies",
+    )
+
+    def __init__(
+        self,
+        joins: np.ndarray,
+        leaves: np.ndarray,
+        failures: tuple[float, ...],
+        plan_changes: tuple[tuple[float, VirtualDeadlineAssignment], ...],
+        burst: _BurstIndex | None,
+        recovery: _RecoveryTracker | None,
+        tallies: dict[str, int],
+    ):
+        self.joins = joins
+        self.leaves = leaves
+        self.failures = failures
+        self.plan_changes = plan_changes
+        self.burst = burst
+        self.recovery = recovery
+        self.tallies = tallies
+
+
+#: Tallies accumulated while the cores simulate (per run).
+_RUN_TALLY_KEYS: tuple[str, ...] = (
+    "burst_jobs",
+    "failure_drops",
+    "mode_recovery_applied",
+    "mode_recovery_noop",
+    "mode_recovery_missed",
+)
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """What the injected events did to one run.
+
+    ``counters`` merges the compile-time admission/repartition tallies
+    with the run-time tallies; :meth:`telemetry` exposes them in obs
+    counter naming (``sim.event.*``) so a report and a metrics snapshot
+    of the same run reconcile key for key — the event-kind analogue of
+    :meth:`repro.sched.SystemReport.telemetry`.
+    """
+
+    counters: dict[str, int]
+    #: per-arrival records ``{"time", "task", "core"}`` (core None = rejected)
+    arrivals: tuple[dict[str, Any], ...] = ()
+    #: per-failure records with displaced/replaced/lost counts and Λ before/after
+    repartitions: tuple[dict[str, Any], ...] = ()
+
+    def telemetry(self) -> dict[str, int]:
+        return {f"sim.event.{k}": int(v) for k, v in sorted(self.counters.items())}
+
+
+@dataclass(frozen=True)
+class CompiledEvents:
+    """The static compilation of a runtime against one partition."""
+
+    horizon: float
+    cores: int
+    full_taskset: MCTaskSet
+    #: per core: residency intervals, chronological join order
+    memberships: tuple[tuple[Membership, ...], ...]
+    #: per core: failure instants strictly inside the horizon, ascending
+    failures: tuple[tuple[float, ...], ...]
+    #: per core: deadline-scaling plan per membership epoch, as
+    #: ``(epoch start, plan)``; ``plan`` is ``None`` when the resident
+    #: subset fails the Theorem-1 analysis (the simulator decides
+    #: whether that raises or degrades to identity scaling)
+    plans: tuple[tuple[tuple[float, VirtualDeadlineAssignment | None], ...], ...]
+    #: per core, per membership entry: burst intervals ``(s, e, factor)``
+    burst_intervals: tuple[
+        tuple[tuple[tuple[float, float, float], ...], ...], ...
+    ]
+    #: shared recovery windows (per-core trackers are built per run)
+    recovery_windows: tuple[tuple[float, float], ...]
+    static_counters: dict[str, int]
+    arrivals: tuple[dict[str, Any], ...]
+    repartitions: tuple[dict[str, Any], ...]
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no events were injected (plain simulation path)."""
+        return int(self.static_counters.get("injected", 0)) == 0
+
+    def infeasible_epochs(self) -> list[tuple[int, float]]:
+        """``(core, epoch start)`` of every resident subset that fails
+        the Theorem-1 analysis (arrival admission never creates one, but
+        failure re-partitioning onto best-probe cores can)."""
+        return [
+            (m, t)
+            for m, schedule in enumerate(self.plans)
+            for t, plan in schedule
+            if plan is None
+        ]
+
+    def fresh_tallies(self) -> dict[str, int]:
+        """A zeroed run-tally dict shared by one run's core views."""
+        return {k: 0 for k in _RUN_TALLY_KEYS}
+
+    def core_view(self, core: int, tallies: dict[str, int]) -> CoreEventView | None:
+        """The live adapter for ``core``, or ``None`` when it never hosts
+        a task (the system simulator skips it entirely)."""
+        entries = self.memberships[core]
+        if not entries:
+            return None
+        joins = np.array([e.join for e in entries], dtype=np.float64)
+        leaves = np.array([e.leave for e in entries], dtype=np.float64)
+        # Plan epochs beyond the first become run-time rebinds; epoch 0
+        # is the constructor plan.  Infeasible epochs degrade to
+        # identity scaling (plain EDF) — the system simulator raises
+        # first unless ``allow_infeasible`` sanctioned them.
+        levels = self.full_taskset.levels
+        changes = tuple(
+            (t, plan if plan is not None else identity_plan(levels))
+            for t, plan in self.plans[core][1:]
+        )
+        burst = (
+            _BurstIndex(self.burst_intervals[core])
+            if any(self.burst_intervals[core])
+            else None
+        )
+        recovery = (
+            _RecoveryTracker(self.recovery_windows)
+            if self.recovery_windows
+            else None
+        )
+        return CoreEventView(
+            joins=joins,
+            leaves=leaves,
+            failures=self.failures[core],
+            plan_changes=changes,
+            burst=burst,
+            recovery=recovery,
+            tallies=tallies,
+        )
+
+    def outcome(self, tallies: dict[str, int]) -> EventOutcome:
+        counters = dict(self.static_counters)
+        counters.update(tallies)
+        return EventOutcome(
+            counters=counters,
+            arrivals=self.arrivals,
+            repartitions=self.repartitions,
+        )
+
+
+# ----------------------------------------------------------------------
+# The runtime
+# ----------------------------------------------------------------------
+class EventInjectionRuntime:
+    """Central registry of injection events for one simulated horizon.
+
+    Lifecycle: construct (structural validation) →
+    :meth:`validate_against` a partition (id / sequence validation;
+    the system simulator calls this on attach, so bad events fail
+    *before* any job is drawn) → :meth:`compile` (placement decisions,
+    membership timeline, per-event spans) → per-run
+    :meth:`CompiledEvents.core_view` adapters.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[SimEvent],
+        horizon: float,
+        probe_impl: str | None = None,
+        rule: str = "max",
+    ):
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        self.horizon = float(horizon)
+        self.probe_impl = probe_impl
+        self.rule = rule
+        ordered = sorted(events, key=lambda e: e.start)  # stable: ties keep
+        for e in ordered:  # authoring order
+            if _time_after(e.end, self.horizon):
+                raise SimulationError(
+                    f"{e.kind} event ends past the horizon "
+                    f"({e.end} > {self.horizon})"
+                )
+        self.events: tuple[SimEvent, ...] = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    def validate_against(self, partition: Partition) -> None:
+        """Reject unknown ids and impossible event sequences.
+
+        Cheap (no probes): run at simulator construction so errors
+        surface up front, not mid-run.
+        """
+        n_base = len(partition.taskset)
+        cores = partition.cores
+        levels = partition.taskset.levels
+        online = [True] * cores
+        departed: set[int] = set()
+        for e in self.events:
+            if e.kind == "wcet_burst" and e.tasks is not None:
+                for i in e.tasks:
+                    if i >= n_base:
+                        raise SimulationError(
+                            f"wcet_burst names unknown task {i} "
+                            f"(task set has {n_base} tasks)"
+                        )
+            elif e.kind == "task_arrival":
+                if e.task.criticality > levels:
+                    raise SimulationError(
+                        f"task_arrival criticality {e.task.criticality} "
+                        f"exceeds the system's K={levels}"
+                    )
+            elif e.kind == "task_departure":
+                if e.task_index >= n_base:
+                    raise SimulationError(
+                        f"task_departure names unknown task {e.task_index} "
+                        f"(task set has {n_base} tasks)"
+                    )
+                if e.task_index in departed:
+                    raise SimulationError(
+                        f"task {e.task_index} departs twice (second at "
+                        f"t={e.start})"
+                    )
+                departed.add(e.task_index)
+            elif e.kind == "core_failure":
+                if e.core >= cores:
+                    raise SimulationError(
+                        f"core_failure names unknown core {e.core} "
+                        f"(system has {cores} cores)"
+                    )
+                if not online[e.core]:
+                    raise SimulationError(
+                        f"core {e.core} fails at t={e.start} but is already "
+                        "offline"
+                    )
+                online[e.core] = False
+            elif e.kind == "core_hotplug":
+                if e.core >= cores:
+                    raise SimulationError(
+                        f"core_hotplug names unknown core {e.core} "
+                        f"(system has {cores} cores)"
+                    )
+                if online[e.core]:
+                    raise SimulationError(
+                        f"core {e.core} hotplugs at t={e.start} but is "
+                        "already online"
+                    )
+                online[e.core] = True
+
+    # ------------------------------------------------------------------
+    def compile(self, partition: Partition) -> CompiledEvents:
+        """Replay the events against ``partition`` and freeze the timeline.
+
+        Deterministic and RNG-free: placement is pure Theorem-1 probing,
+        so one compilation serves any number of seeded runs.  Emits one
+        ``sim.event.<kind>`` span per event under a
+        ``sim.events.compile`` parent when instrumentation is on.
+        """
+        self.validate_against(partition)
+        with span("sim.events.compile", events=len(self.events)):
+            return self._compile(partition)
+
+    def _compile(self, partition: Partition) -> CompiledEvents:
+        base = partition.taskset
+        n_base = len(base)
+        cores = partition.cores
+        levels = base.levels
+        backend = get_backend(
+            self.probe_impl if self.probe_impl is not None else probe_implementation()
+        )
+
+        arrivals = [e for e in self.events if e.kind == "task_arrival"]
+        full = MCTaskSet(
+            list(base) + [e.task for e in arrivals], levels=levels
+        )
+        assignment = [int(c) for c in partition.assignment] + [-1] * len(arrivals)
+        live = Partition.from_assignment(full, cores, assignment)
+
+        online = [True] * cores
+        # Per-task open residency: global index -> (core, join instant).
+        open_slot: dict[int, tuple[int, float]] = {
+            i: (assignment[i], 0.0) for i in range(n_base)
+        }
+        memberships: list[list[Membership]] = [[] for _ in range(cores)]
+        failures: list[list[float]] = [[] for _ in range(cores)]
+        recovery_windows: list[tuple[float, float]] = []
+        bursts: list[SimEvent] = []
+        arrival_records: list[dict[str, Any]] = []
+        repartition_records: list[dict[str, Any]] = []
+        counters: dict[str, int] = {
+            "injected": len(self.events),
+            "arrival_admitted": 0,
+            "arrival_rejected": 0,
+            "departures": 0,
+            "departure_noop": 0,
+            "core_failures": 0,
+            "core_hotplugs": 0,
+            "displaced": 0,
+            "replaced": 0,
+            "repartition_lost": 0,
+        }
+        next_arrival = n_base
+
+        def close(gidx: int, leave: float) -> None:
+            core, join = open_slot.pop(gidx)
+            memberships[core].append(
+                Membership(
+                    global_index=gidx, task=full[gidx], join=join, leave=leave
+                )
+            )
+
+        def best_online_core(gidx: int) -> int | None:
+            """Feasible online core with the smallest Eq.-(15) probe
+            (ties to the lowest index — the serve daemon's rule)."""
+            row = backend.probe(live, gidx, rule=self.rule)
+            masked = np.where(
+                np.isfinite(row) & np.array(online, dtype=bool), row, np.inf
+            )
+            if not np.isfinite(masked).any():
+                return None
+            return int(np.argmin(masked))
+
+        for event in self.events:
+            with span(f"sim.event.{event.kind}", t=event.start):
+                if event.kind == "wcet_burst":
+                    bursts.append(event)
+                elif event.kind == "mode_recovery":
+                    recovery_windows.append((event.start, event.end))
+                elif event.kind == "task_arrival":
+                    gidx = next_arrival
+                    next_arrival += 1
+                    core = best_online_core(gidx)
+                    if core is None:
+                        counters["arrival_rejected"] += 1
+                    else:
+                        live.assign(gidx, core)
+                        open_slot[gidx] = (core, event.start)
+                        counters["arrival_admitted"] += 1
+                    arrival_records.append(
+                        {
+                            "time": event.start,
+                            "task": full[gidx].name or f"task{gidx}",
+                            "core": core,
+                        }
+                    )
+                elif event.kind == "task_departure":
+                    gidx = event.task_index
+                    if gidx in open_slot:
+                        close(gidx, event.start)
+                        live.unassign(gidx)
+                        counters["departures"] += 1
+                    else:
+                        # Lost in an earlier failed re-partition: the
+                        # departure has nothing left to remove.
+                        counters["departure_noop"] += 1
+                elif event.kind == "core_failure":
+                    m = event.core
+                    counters["core_failures"] += 1
+                    online[m] = False
+                    if not _time_reached(event.start, self.horizon):
+                        failures[m].append(event.start)
+                    lam_before = imbalance_factor(
+                        live.core_utilizations(self.rule)
+                    )
+                    displaced = list(live.tasks_on(m))
+                    for gidx in displaced:
+                        close(gidx, event.start)
+                        live.unassign(gidx)
+                    # Criticality-aware order: highest criticality
+                    # first, then largest own-level utilization — the
+                    # most constrained tasks pick their core first.
+                    displaced.sort(
+                        key=lambda i: (
+                            -full[i].criticality,
+                            -full[i].utilization(full[i].criticality),
+                        )
+                    )
+                    replaced = lost = 0
+                    for gidx in displaced:
+                        core = best_online_core(gidx)
+                        if core is None:
+                            lost += 1
+                        else:
+                            live.assign(gidx, core)
+                            open_slot[gidx] = (core, event.start)
+                            replaced += 1
+                    counters["displaced"] += len(displaced)
+                    counters["replaced"] += replaced
+                    counters["repartition_lost"] += lost
+                    repartition_records.append(
+                        {
+                            "time": event.start,
+                            "core": m,
+                            "displaced": len(displaced),
+                            "replaced": replaced,
+                            "lost": lost,
+                            "lambda_before": lam_before,
+                            "lambda_after": imbalance_factor(
+                                live.core_utilizations(self.rule)
+                            ),
+                        }
+                    )
+                elif event.kind == "core_hotplug":
+                    counters["core_hotplugs"] += 1
+                    online[event.core] = True
+
+        # Close every residency still open at the horizon.
+        for gidx in sorted(open_slot):
+            close(gidx, float("inf"))
+
+        membership_tuple = tuple(tuple(ms) for ms in memberships)
+        burst_intervals = tuple(
+            tuple(
+                tuple(
+                    (b.start, b.end, b.factor)
+                    for b in bursts
+                    if b.tasks is None or entry.global_index in b.tasks
+                )
+                for entry in ms
+            )
+            for ms in membership_tuple
+        )
+        plans = tuple(
+            _plan_schedule(ms, levels) for ms in membership_tuple
+        )
+        return CompiledEvents(
+            horizon=self.horizon,
+            cores=cores,
+            full_taskset=full,
+            memberships=membership_tuple,
+            failures=tuple(tuple(f) for f in failures),
+            plans=plans,
+            burst_intervals=burst_intervals,
+            recovery_windows=tuple(recovery_windows),
+            static_counters=counters,
+            arrivals=tuple(arrival_records),
+            repartitions=tuple(repartition_records),
+        )
+
+
+def _plan_schedule(
+    entries: Sequence[Membership], levels: int
+) -> tuple[tuple[float, VirtualDeadlineAssignment | None], ...]:
+    """Deadline-scaling plan per membership epoch of one core.
+
+    Epoch boundaries are the distinct join/leave instants; the plan of
+    an epoch is the Theorem-1 assignment over the tasks resident
+    throughout it (identity when the core is empty, ``None`` when the
+    resident subset is infeasible — the caller decides what that
+    means).
+    """
+    if not entries:
+        return ()
+    marks = {0.0}
+    for e in entries:
+        marks.add(e.join)
+        if np.isfinite(e.leave):
+            marks.add(e.leave)
+    schedule: list[tuple[float, VirtualDeadlineAssignment | None]] = []
+    for t in sorted(marks):
+        resident = [
+            e.task
+            for e in entries
+            if _time_reached(t, e.join) and _time_after(e.leave, t)
+        ]
+        if not resident:
+            plan: VirtualDeadlineAssignment | None = identity_plan(levels)
+        else:
+            plan = assign_virtual_deadlines(MCTaskSet(resident, levels=levels))
+        schedule.append((t, plan))
+    return tuple(schedule)

@@ -98,10 +98,11 @@ class RandomScenario(ExecutionScenario):
             level += 1
         low = task.wcet(level - 1) if level > 1 else 0.0
         high = task.wcet(level)
-        # Uniform in (low, high]; avoid returning exactly `low`, which
-        # would not constitute an overrun of the previous budget.
-        value = float(rng.uniform(low, high))
-        return high if value <= low else value
+        # Uniform in (low, high]: `uniform` draws the half-open
+        # [0, high - low), so reflecting it off `high` excludes `low`
+        # (which would not constitute an overrun of the previous
+        # budget) and keeps `high` reachable.
+        return high - float(rng.uniform(0.0, high - low))
 
 
 class FaultyScenario(ExecutionScenario):

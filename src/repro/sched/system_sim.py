@@ -12,13 +12,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.virtual_deadlines import (
-    VirtualDeadlineAssignment,
-    assign_virtual_deadlines,
-)
+from repro.analysis.virtual_deadlines import assign_virtual_deadlines
 from repro.model.partition import Partition
-from repro.obs.runtime import span
-from repro.sched.core_sim import CoreReport, CoreSimulator
+from repro.model.taskset import MCTaskSet
+from repro.obs.runtime import OBS, span
+from repro.sched.core_sim import TIME_EPS, CoreReport, CoreSimulator
+from repro.sched.events import (
+    CompiledEvents,
+    EventInjectionRuntime,
+    EventOutcome,
+    identity_plan,
+)
 from repro.sched.scenario import ExecutionScenario
 from repro.types import SimulationError
 
@@ -48,6 +52,8 @@ class SystemReport:
     """Aggregated simulation outcome for a whole partition."""
 
     core_reports: list[CoreReport | None]  #: ``None`` for empty cores
+    #: what the injected events did (only when a runtime was attached)
+    events: EventOutcome | None = None
 
     @property
     def miss_count(self) -> int:
@@ -109,6 +115,11 @@ class SystemReport:
             "sim.deadline_miss": self.miss_count,
         }
 
+    def event_telemetry(self) -> dict[str, int]:
+        """``sim.event.*`` tallies of the attached runtime (empty when
+        no events were injected into the run)."""
+        return {} if self.events is None else self.events.telemetry()
+
 
 class SystemSimulator:
     """Simulates a complete task-to-core partition.
@@ -136,6 +147,7 @@ class SystemSimulator:
         horizon: float | None = None,
         allow_infeasible: bool = False,
         releases=None,
+        events: EventInjectionRuntime | None = None,
     ):
         if not partition.is_complete:
             raise SimulationError("partition must assign every task")
@@ -148,6 +160,24 @@ class SystemSimulator:
         #: arrival model shared by all cores (None = periodic);
         #: see :mod:`repro.sched.releases`.
         self.releases = releases
+        #: injected-event runtime (:mod:`repro.sched.events`) or ``None``.
+        self.events = events
+        self._compiled: CompiledEvents | None = None
+        if events is not None:
+            if releases is not None:
+                raise SimulationError(
+                    "event injection requires periodic releases; "
+                    "combining it with a release model is not supported"
+                )
+            if abs(events.horizon - self.horizon) > TIME_EPS:
+                raise SimulationError(
+                    f"event runtime was validated for horizon "
+                    f"{events.horizon} but the simulator runs to "
+                    f"{self.horizon}"
+                )
+            # Up-front: unknown ids / impossible sequences fail here,
+            # before any job is drawn.
+            events.validate_against(partition)
 
     def run(self, seed: int | np.random.SeedSequence = 0) -> SystemReport:
         """Simulate every non-empty core; one trace span per core.
@@ -166,34 +196,92 @@ class SystemSimulator:
             else np.random.SeedSequence(seed)
         )
         children = root.spawn(self.partition.cores)
+        compiled = self._compile_events()
+        if compiled is not None and not compiled.is_trivial:
+            report = self._run_evented(compiled, children)
+        else:
+            reports: list[CoreReport | None] = []
+            for m in range(self.partition.cores):
+                subset_indices = self.partition.tasks_on(m)
+                if not subset_indices:
+                    reports.append(None)
+                    continue
+                subset = self.partition.taskset.subset(subset_indices)
+                plan = assign_virtual_deadlines(subset)
+                if plan is None:
+                    if not self.allow_infeasible:
+                        raise SimulationError(
+                            f"core {m} fails the EDF-VD schedulability "
+                            "analysis; pass allow_infeasible=True to "
+                            "simulate it anyway"
+                        )
+                    plan = identity_plan(subset.levels)
+                sim = CoreSimulator(
+                    subset=subset,
+                    plan=plan,
+                    scenario=self.scenario,
+                    rng=np.random.default_rng(children[m]),
+                    horizon=self.horizon,
+                    releases=self.releases,
+                )
+                with span("sim.core", core=m, tasks=len(subset_indices)):
+                    reports.append(sim.run())
+            report = SystemReport(core_reports=reports)
+            if compiled is not None:
+                # Zero events: the simulation above is the original
+                # static path bit for bit; the outcome just says so.
+                report.events = compiled.outcome(compiled.fresh_tallies())
+        if report.events is not None and OBS.enabled:
+            reg = OBS.registry
+            for name, value in report.events.telemetry().items():
+                reg.counter(name).inc(value)
+        return report
+
+    def _compile_events(self) -> CompiledEvents | None:
+        """Compile the attached runtime once (lazily, so the per-event
+        spans land inside the caller's instrumentation window)."""
+        if self.events is None:
+            return None
+        if self._compiled is None:
+            self._compiled = self.events.compile(self.partition)
+        return self._compiled
+
+    def _run_evented(
+        self,
+        compiled: CompiledEvents,
+        children: list[np.random.SeedSequence],
+    ) -> SystemReport:
+        infeasible = compiled.infeasible_epochs()
+        if infeasible and not self.allow_infeasible:
+            core, at = infeasible[0]
+            raise SimulationError(
+                f"re-partitioned core {core} fails the EDF-VD "
+                f"schedulability analysis from t={at}; pass "
+                "allow_infeasible=True to simulate it anyway"
+            )
+        levels = compiled.full_taskset.levels
+        tallies = compiled.fresh_tallies()
         reports: list[CoreReport | None] = []
-        for m in range(self.partition.cores):
-            subset_indices = self.partition.tasks_on(m)
-            if not subset_indices:
+        for m in range(compiled.cores):
+            view = compiled.core_view(m, tallies)
+            if view is None:
                 reports.append(None)
                 continue
-            subset = self.partition.taskset.subset(subset_indices)
-            plan = assign_virtual_deadlines(subset)
-            if plan is None:
-                if not self.allow_infeasible:
-                    raise SimulationError(
-                        f"core {m} fails the EDF-VD schedulability analysis; "
-                        "pass allow_infeasible=True to simulate it anyway"
-                    )
-                plan = VirtualDeadlineAssignment(
-                    k_star=1,
-                    lambdas=(0.0,) * subset.levels,
-                    top_level_scale=1.0,
-                    levels=subset.levels,
-                )
+            entries = compiled.memberships[m]
+            subset = MCTaskSet([e.task for e in entries], levels=levels)
+            plan0 = compiled.plans[m][0][1]
+            if plan0 is None:
+                plan0 = identity_plan(levels)
             sim = CoreSimulator(
                 subset=subset,
-                plan=plan,
+                plan=plan0,
                 scenario=self.scenario,
                 rng=np.random.default_rng(children[m]),
                 horizon=self.horizon,
-                releases=self.releases,
+                events=view,
             )
-            with span("sim.core", core=m, tasks=len(subset_indices)):
+            with span("sim.core", core=m, tasks=len(entries)):
                 reports.append(sim.run())
-        return SystemReport(core_reports=reports)
+        return SystemReport(
+            core_reports=reports, events=compiled.outcome(tallies)
+        )

@@ -43,6 +43,17 @@ Built-in oracles
     The admission daemon's ``/admit`` answers (coordinator + micro-
     batcher, all schemes submitted concurrently) are bit-identical to
     the offline partitioner's results.
+``events-job-conservation``
+    Under a deterministic injection script covering all four event
+    families (WCET burst + recovery window, arrival + departure, core
+    failure + hotplug), job conservation still holds per core and
+    system-wide, and the event tallies themselves balance (arrivals
+    admitted + rejected, displaced = replaced + lost, recovery windows
+    applied + no-op + missed).
+``events-telemetry``
+    The same evented run executed plain and instrumented is identical,
+    and both ``telemetry()`` and ``event_telemetry()`` reconcile
+    key-for-key with the ``sim.*`` / ``sim.event.*`` obs counters.
 """
 
 from __future__ import annotations
@@ -465,5 +476,163 @@ def _check_serve_offline(case: ValidationCase) -> list[str]:
             failures.append(
                 f"{scheme}: serve /admit diverges from the offline "
                 f"partitioner on (serve, offline) = {diff}"
+            )
+    return failures
+
+
+def _case_event_script(case: ValidationCase, partition, horizon: float) -> list:
+    """A deterministic injection script touching all four event families.
+
+    Parameters derive from ``case.sim_seed(404)`` only, so every oracle
+    that attaches events to this case sees the *same* script — the
+    differential question is always "same dynamic world, two code
+    paths".
+    """
+    from repro.model import MCTask
+    from repro.sched import (
+        core_failure,
+        core_hotplug,
+        mode_recovery,
+        task_arrival,
+        task_departure,
+        wcet_burst,
+    )
+
+    rng = np.random.default_rng(case.sim_seed(404))
+    taskset = case.taskset
+    n = len(taskset)
+    src = taskset[int(rng.integers(n))]
+    arriving = MCTask(
+        wcets=tuple(0.5 * w for w in src.wcets),
+        period=src.period,
+        name="fuzz-arrival",
+    )
+    events = [
+        wcet_burst(0.25 * horizon, 0.6 * horizon, 1.0 + 2.0 * rng.random()),
+        mode_recovery(0.3 * horizon, 0.7 * horizon),
+        task_arrival(0.2 * horizon, arriving),
+        task_departure(0.5 * horizon, int(rng.integers(n))),
+    ]
+    if partition.cores > 1:
+        core = int(rng.integers(partition.cores))
+        events.append(core_failure(0.4 * horizon, core))
+        events.append(core_hotplug(0.8 * horizon, core))
+    return events
+
+
+@register_oracle(
+    "events-job-conservation",
+    "job conservation holds across injected arrival/departure/failure events",
+)
+def _check_events_job_conservation(case: ValidationCase) -> list[str]:
+    from repro.sched.events import EventInjectionRuntime
+
+    label, result = case.first_schedulable()
+    if result is None:
+        return []
+    horizon = default_horizon(result.partition, cycles=case.sim_cycles)
+    runtime = EventInjectionRuntime(
+        _case_event_script(case, result.partition, horizon), horizon=horizon
+    )
+    report = SystemSimulator(
+        result.partition,
+        LevelScenario(target=case.taskset.levels),
+        horizon=horizon,
+        allow_infeasible=True,  # failure re-partitioning may overload cores
+        events=runtime,
+    ).run(seed=case.sim_seed(505))
+    failures = []
+    for m, core in enumerate(report.core_reports):
+        if core is None:
+            continue
+        if core.released != core.completed + core.dropped + core.pending:
+            failures.append(
+                f"core {m}: {core.released} released != {core.completed} "
+                f"completed + {core.dropped} dropped + {core.pending} pending"
+            )
+    if report.released != report.completed + report.dropped + report.pending:
+        failures.append(
+            f"system: {report.released} released != {report.completed} "
+            f"completed + {report.dropped} dropped + {report.pending} pending"
+        )
+    ev = report.events.counters
+    n_arrivals = sum(
+        1 for e in runtime.events if e.kind == "task_arrival"
+    )
+    if ev["arrival_admitted"] + ev["arrival_rejected"] != n_arrivals:
+        failures.append(
+            f"arrivals leak: {ev['arrival_admitted']} admitted + "
+            f"{ev['arrival_rejected']} rejected != {n_arrivals} injected"
+        )
+    if ev["displaced"] != ev["replaced"] + ev["repartition_lost"]:
+        failures.append(
+            f"re-partition leak: {ev['displaced']} displaced != "
+            f"{ev['replaced']} replaced + {ev['repartition_lost']} lost"
+        )
+    n_windows = sum(1 for e in runtime.events if e.kind == "mode_recovery")
+    resolved = (
+        ev["mode_recovery_applied"]
+        + ev["mode_recovery_noop"]
+        + ev["mode_recovery_missed"]
+    )
+    expected = n_windows * report.telemetry()["sim.cores_simulated"]
+    if resolved != expected:
+        failures.append(
+            f"recovery-window leak: applied {ev['mode_recovery_applied']} + "
+            f"noop {ev['mode_recovery_noop']} + missed "
+            f"{ev['mode_recovery_missed']} != {expected} "
+            f"(windows x simulated cores)"
+        )
+    return failures
+
+
+@register_oracle(
+    "events-telemetry",
+    "telemetry reconciliation holds under every injected event kind",
+)
+def _check_events_telemetry(case: ValidationCase) -> list[str]:
+    from repro.sched.events import EventInjectionRuntime
+
+    label, result = case.first_schedulable()
+    if result is None:
+        return []
+    horizon = default_horizon(result.partition, cycles=case.sim_cycles)
+    script = _case_event_script(case, result.partition, horizon)
+
+    def simulate():
+        # A fresh simulator per run: compilation is deterministic, so
+        # recompiling under instrumentation must change nothing except
+        # the spans it emits.
+        return SystemSimulator(
+            result.partition,
+            RandomScenario(overrun_prob=0.3),
+            horizon=horizon,
+            allow_infeasible=True,
+            events=EventInjectionRuntime(script, horizon=horizon),
+        ).run(seed=case.sim_seed(606))
+
+    plain = simulate()
+    with obs.collect() as registry:
+        instrumented = simulate()
+        counters = registry.snapshot()["counters"]
+    failures = []
+    if plain.telemetry() != instrumented.telemetry():
+        failures.append(
+            f"{label}: enabling instrumentation changed the evented run "
+            f"({plain.telemetry()} vs {instrumented.telemetry()})"
+        )
+    if plain.event_telemetry() != instrumented.event_telemetry():
+        failures.append(
+            f"{label}: enabling instrumentation changed the event outcome "
+            f"({plain.event_telemetry()} vs "
+            f"{instrumented.event_telemetry()})"
+        )
+    expected = dict(instrumented.telemetry())
+    expected.update(instrumented.event_telemetry())
+    for key, value in expected.items():
+        recorded = counters.get(key, 0)
+        if recorded != value:
+            failures.append(
+                f"{key}: report says {value} but the obs counter says {recorded}"
             )
     return failures

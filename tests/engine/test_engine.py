@@ -159,6 +159,28 @@ class TestHeadToHeadThroughEngine:
             shard_kind("stats").decode({"kind": "h2h"})
 
 
+class TestShardRunKwargs:
+    def test_empty_params_keep_legacy_signature(self):
+        # Runners registered before `params` existed take exactly five
+        # arguments; a paramless point must not pass them a sixth.
+        from repro.engine.core import _shard_run_kwargs
+
+        assert _shard_run_kwargs(()) == {}
+
+    def test_params_delivered_as_dict(self):
+        from repro.engine.core import _shard_run_kwargs
+
+        kwargs = _shard_run_kwargs((("burst_factor", 2.0),))
+        assert kwargs == {"params": {"burst_factor": 2.0}}
+
+    def test_dynsim_kind_resolves_lazily(self):
+        # The dynsim runner lives in repro.experiments.dynamic and is
+        # registered on import via the provider table.
+        from repro.engine.core import shard_kind
+
+        assert shard_kind("dynsim").run is not None
+
+
 class TestRunValidation:
     def test_run_rejects_h2h_points(self):
         spec = _spec(sets=2)

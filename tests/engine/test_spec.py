@@ -97,6 +97,22 @@ class TestPointSpec:
         with pytest.raises(ReproError, match="scheme"):
             PointSpec(config=WorkloadConfig(), schemes=())
 
+    def test_params_round_trip(self):
+        point = PointSpec(
+            config=WorkloadConfig(cores=2),
+            schemes=(SchemeSpec.make("ca-tpa"),),
+            kind="dynsim",
+            params=(("burst_factor", 2.0),),
+        )
+        assert PointSpec.from_dict(point.to_dict()) == point
+        assert point.to_dict()["params"] == {"burst_factor": 2.0}
+
+    def test_empty_params_stay_out_of_dict(self):
+        # Legacy documents (and their shard hashes) predate `params`;
+        # an empty tuple must serialize exactly as before it existed.
+        point = PointSpec(config=WorkloadConfig(), schemes=(SchemeSpec.make("ffd"),))
+        assert "params" not in point.to_dict()
+
 
 class TestExperimentSpec:
     def _spec(self):

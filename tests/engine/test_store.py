@@ -41,6 +41,15 @@ class TestShardKey:
         # wherever the ranges line up.
         assert shard_key(_point(sets=20), 0, 10) == shard_key(_point(sets=40), 0, 10)
 
+    def test_params_address_distinct_content(self):
+        # Two dynsim points differing only in burst factor must never
+        # share a checkpoint shard.
+        burst2 = _point(kind="dynsim", params=(("burst_factor", 2.0),))
+        burst3 = _point(kind="dynsim", params=(("burst_factor", 3.0),))
+        assert shard_key(burst2, 0, 10) != shard_key(burst3, 0, 10)
+        assert shard_key(burst2, 0, 10) != shard_key(_point(kind="dynsim"), 0, 10)
+        assert shard_key(burst2, 0, 10) == shard_key(burst2, 0, 10)
+
 
 class TestResultStore:
     def test_round_trip(self, tmp_path):

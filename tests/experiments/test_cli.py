@@ -628,3 +628,154 @@ class TestTopCommand:
     def test_missing_events_file_exits_one(self, tmp_path, capsys):
         assert cli.main(["top", str(tmp_path / "nope.jsonl"), "--once"]) == 1
         assert "no events file" in capsys.readouterr().err
+
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestSimulateCommand:
+    def _args(self, *extra):
+        return [
+            "simulate",
+            "--taskset",
+            str(EXAMPLES / "taskset_demo.json"),
+            "--cores",
+            "2",
+            "--scenario",
+            "honest",
+            *extra,
+        ]
+
+    def test_flags_round_trip(self):
+        args = cli.build_parser().parse_args(
+            [
+                "simulate",
+                "--taskset",
+                "t.json",
+                "--events",
+                "e.json",
+                "--scheme",
+                "ffd",
+                "--scenario",
+                "level",
+                "--overrun-prob",
+                "0.3",
+                "--cycles",
+                "5",
+                "--allow-infeasible",
+            ]
+        )
+        assert args.experiment == "simulate"
+        assert args.taskset == "t.json"
+        assert args.events == "e.json"
+        assert args.scheme == "ffd"
+        assert args.scenario == "level"
+        assert args.overrun_prob == 0.3
+        assert args.cycles == 5.0
+        assert args.allow_infeasible
+
+    def test_requires_taskset(self, capsys):
+        assert cli.main(["simulate"]) == 2
+        assert "--taskset PATH is required" in capsys.readouterr().err
+
+    def test_stray_paths_rejected(self, capsys):
+        assert cli.main(self._args()[:1] + ["whoops.json"]) == 2
+        err = capsys.readouterr().err
+        assert "unexpected positional arguments" in err
+
+    def test_plain_run_prints_telemetry(self, capsys):
+        assert cli.main(self._args()) == 0
+        out = capsys.readouterr().out
+        assert "simulate: 6 tasks on 2 cores (ca-tpa)" in out
+        assert "schedulable offline: True" in out
+        assert "sim.released:" in out
+        assert "sim.event." not in out  # no script attached
+
+    def test_events_run_reports_event_counters(self, capsys):
+        assert cli.main(
+            self._args("--events", str(EXAMPLES / "events_demo.json"))
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sim.event.injected: 6" in out
+        assert "sim.event.core_failures: 1" in out
+        assert "sim.event.arrival_admitted" in out
+
+    def test_events_metrics_snapshot_matches_stdout(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert cli.main(
+            self._args(
+                "--events",
+                str(EXAMPLES / "events_demo.json"),
+                "--metrics",
+                str(metrics),
+            )
+        ) == 0
+        doc = json.loads(metrics.read_text())
+        counters = doc["metrics"]["counters"]
+        assert counters["sim.event.injected"] == 6
+        summaries = doc["metrics"]["summaries"]
+        assert "cli.simulate.seconds" in summaries
+        assert "sim.events.compile.seconds" in summaries
+
+    def test_unschedulable_partition_needs_allow_infeasible(
+        self, tmp_path, capsys
+    ):
+        # One core cannot hold the demo set; the honest message tells
+        # the user which gate tripped.
+        rc = cli.main(
+            [
+                "simulate",
+                "--taskset",
+                str(EXAMPLES / "taskset_demo.json"),
+                "--cores",
+                "1",
+                "--scenario",
+                "honest",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert (
+            "could not place every task" in captured.err
+            or "fails the schedulability analysis" in captured.err
+        )
+
+
+class TestDynamicCommand:
+    def test_burst_factors_round_trip(self):
+        args = cli.build_parser().parse_args(
+            ["dynamic", "--burst-factors", "1.0,2.5"]
+        )
+        assert args.experiment == "dynamic"
+        assert args.burst_factors == "1.0,2.5"
+
+    def test_bad_burst_factors_exit_two(self, capsys):
+        assert cli.main(["dynamic", "--burst-factors", "1.0,oops"]) == 2
+        assert "comma-separated float list" in capsys.readouterr().err
+        assert cli.main(["dynamic", "--burst-factors", ","]) == 2
+        assert "is empty" in capsys.readouterr().err
+
+    def test_tiny_run_prints_table_and_json(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert (
+            cli.main(
+                [
+                    "dynamic",
+                    "--sets",
+                    "1",
+                    "--burst-factors",
+                    "2.0",
+                    "--no-store",
+                    "--json",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Dynamic scenario sweep" in out
+        assert "[dynamic regenerated in" in out
+        doc = json.loads((out_dir / "dynamic.json").read_text())
+        assert doc["figure"] == "dynamic"
+        assert doc["factors"] == [2.0]
+        assert doc["rows"][0]["simulated"] == 1

@@ -1,0 +1,124 @@
+"""Tests for the dynamic-scenario resilience sweep (shard kind dynsim)."""
+
+import pytest
+
+from repro.engine import ResultStore
+from repro.experiments.dynamic import (
+    DEFAULT_BURST_FACTORS,
+    DynamicSweepResult,
+    dynamic_point,
+    format_dynamic,
+    run_dynamic_sweep,
+    standard_event_script,
+)
+from repro.gen.generator import generate_taskset
+from repro.gen.params import WorkloadConfig
+
+
+@pytest.fixture
+def tiny_config():
+    return WorkloadConfig(cores=2, levels=2, nsu=0.4, task_count_range=(5, 5))
+
+
+def _tiny_sweep(tiny_config, **kwargs):
+    defaults = dict(
+        factors=(1.0, 3.0), sets=4, seed=11, jobs=1, config=tiny_config
+    )
+    defaults.update(kwargs)
+    return run_dynamic_sweep(**defaults)
+
+
+class TestEventScript:
+    def test_covers_every_family(self, tiny_config, rng):
+        taskset = generate_taskset(tiny_config, rng)
+        events = standard_event_script(taskset, 2, 1000.0, 2.0, rng)
+        kinds = {e.kind for e in events}
+        assert kinds == {
+            "wcet_burst",
+            "task_arrival",
+            "task_departure",
+            "mode_recovery",
+            "core_failure",
+            "core_hotplug",
+        }
+        assert all(0.0 <= e.start and e.end <= 1000.0 for e in events)
+
+    def test_single_core_skips_failure(self, tiny_config, rng):
+        taskset = generate_taskset(tiny_config, rng)
+        kinds = {e.kind for e in standard_event_script(taskset, 1, 500.0, 2.0, rng)}
+        assert "core_failure" not in kinds and "core_hotplug" not in kinds
+
+    def test_burst_factor_passed_through(self, tiny_config, rng):
+        taskset = generate_taskset(tiny_config, rng)
+        (burst,) = [
+            e
+            for e in standard_event_script(taskset, 2, 500.0, 3.5, rng)
+            if e.kind == "wcet_burst"
+        ]
+        assert burst.factor == 3.5
+
+
+class TestSweep:
+    def test_point_spec_carries_factor(self):
+        point = dynamic_point(2.5, sets=10, seed=3)
+        assert point.kind == "dynsim"
+        assert dict(point.params) == {"burst_factor": 2.5}
+        assert point.sets == 10 and point.seed == 3
+
+    def test_sweep_shape_and_conservation(self, tiny_config):
+        result = _tiny_sweep(tiny_config)
+        assert result.factors == (1.0, 3.0)
+        assert len(result.tallies) == 2
+        for t in result.tallies:
+            assert t["sets"] == 4
+            assert t["simulated"] + t["unschedulable"] == t["sets"]
+            assert (
+                t["completed"] + t["dropped"] + t["pending"] == t["released"]
+            )
+
+    def test_control_factor_injects_no_burst_jobs(self, tiny_config):
+        # factor 1.0 multiplies demand by 1 — the tally must show the
+        # burst touched nothing.
+        result = _tiny_sweep(tiny_config, factors=(1.0,))
+        assert result.tallies[0]["burst_jobs"] == 0
+
+    def test_deterministic(self, tiny_config):
+        first = _tiny_sweep(tiny_config)
+        second = _tiny_sweep(tiny_config)
+        assert first.tallies == second.tallies
+
+    def test_warm_store_run_matches_cold(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cold = _tiny_sweep(tiny_config, store=store)
+        warm = _tiny_sweep(tiny_config, store=store)
+        assert cold.tallies == warm.tallies
+        assert cold.tallies == _tiny_sweep(tiny_config).tallies
+
+    def test_row_and_dict(self, tiny_config):
+        result = _tiny_sweep(tiny_config, factors=(2.0,))
+        row = result.row(0)
+        assert row["burst_factor"] == 2.0
+        assert 0.0 <= row["miss_rate"] <= 1.0
+        assert 0.0 <= row["dropped_fraction"] <= 1.0
+        doc = result.to_dict()
+        assert doc["figure"] == "dynamic"
+        assert doc["factors"] == [2.0]
+        assert doc["rows"][0] == row
+
+    def test_format_renders_every_factor(self, tiny_config):
+        result = _tiny_sweep(tiny_config)
+        text = format_dynamic(result)
+        assert "Dynamic scenario sweep" in text
+        assert "ca-tpa" in text
+        assert "  1.00" in text and "  3.00" in text
+
+
+class TestDefaults:
+    def test_default_factors_start_at_control(self):
+        assert DEFAULT_BURST_FACTORS[0] == 1.0
+        assert list(DEFAULT_BURST_FACTORS) == sorted(DEFAULT_BURST_FACTORS)
+
+    def test_result_defaults(self):
+        result = DynamicSweepResult(factors=(), tallies=())
+        assert result.scheme == "ca-tpa"
+        assert result.config.nsu == 0.5

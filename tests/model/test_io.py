@@ -8,16 +8,28 @@ from repro.model import (
     MCTask,
     MCTaskSet,
     Partition,
+    events_from_dict,
+    events_to_dict,
+    load_events,
     load_partition,
     load_taskset,
     partition_from_dict,
     partition_to_dict,
+    save_events,
     save_partition,
     save_taskset,
     taskset_from_dict,
     taskset_to_dict,
 )
-from repro.types import ModelError
+from repro.sched.events import (
+    core_failure,
+    core_hotplug,
+    mode_recovery,
+    task_arrival,
+    task_departure,
+    wcet_burst,
+)
+from repro.types import ModelError, SimulationError
 
 
 @pytest.fixture
@@ -103,3 +115,83 @@ class TestPartitionRoundTrip:
         part.assign(1, 0)
         clone = partition_from_dict(partition_to_dict(part))
         np.testing.assert_allclose(clone.level_matrix(0), part.level_matrix(0))
+
+
+@pytest.fixture
+def events():
+    return (
+        wcet_burst(10.0, 40.0, 2.5, tasks=(0, 1)),
+        task_arrival(20.0, MCTask(wcets=(1.0, 2.0), period=15.0, name="late")),
+        task_departure(50.0, task_index=1),
+        core_failure(30.0, core=1),
+        core_hotplug(80.0, core=1),
+        mode_recovery(60.0, 90.0),
+    )
+
+
+class TestEventsRoundTrip:
+    def test_dict_round_trip(self, events):
+        clone = events_from_dict(events_to_dict(events))
+        assert clone == events
+
+    def test_file_round_trip(self, events, tmp_path):
+        path = tmp_path / "events.json"
+        save_events(events, path)
+        assert load_events(path) == events
+
+    def test_instantaneous_events_use_time_sugar(self, events):
+        doc = events_to_dict(events)
+        by_kind = {entry["kind"]: entry for entry in doc["events"]}
+        assert by_kind["core_failure"] == {
+            "kind": "core_failure",
+            "time": 30.0,
+            "core": 1,
+        }
+        assert "start" not in by_kind["task_arrival"]
+        assert by_kind["wcet_burst"]["start"] == 10.0
+        assert by_kind["wcet_burst"]["end"] == 40.0
+
+    def test_time_sugar_accepted_on_load(self):
+        doc = {
+            "format": "repro-mc-events",
+            "version": 1,
+            "events": [{"kind": "task_departure", "time": 5.0, "task_index": 0}],
+        }
+        (event,) = events_from_dict(doc)
+        assert event.start == event.end == 5.0
+
+    def test_wrong_format_rejected(self, events):
+        doc = events_to_dict(events)
+        doc["format"] = "repro-mc-taskset"
+        with pytest.raises(ModelError, match="not a repro-mc-events"):
+            events_from_dict(doc)
+
+    def test_wrong_version_rejected(self, events):
+        doc = events_to_dict(events)
+        doc["version"] = 99
+        with pytest.raises(ModelError, match="unsupported version"):
+            events_from_dict(doc)
+
+    def test_non_list_events_rejected(self):
+        doc = {"format": "repro-mc-events", "version": 1, "events": {}}
+        with pytest.raises(ModelError, match="must be a list"):
+            events_from_dict(doc)
+
+    def test_malformed_entry_names_position(self, events):
+        doc = events_to_dict(events)
+        del doc["events"][2]["kind"]
+        with pytest.raises(ModelError, match="malformed event #2"):
+            events_from_dict(doc)
+
+    def test_structurally_invalid_event_surfaces_sim_error(self, events):
+        doc = events_to_dict(events)
+        doc["events"][0]["factor"] = -1.0
+        with pytest.raises(SimulationError, match="factor must be positive"):
+            events_from_dict(doc)
+
+    def test_document_is_plain_json(self, events, tmp_path):
+        path = tmp_path / "events.json"
+        save_events(events, path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-mc-events"
+        assert len(doc["events"]) == len(events)

@@ -1,5 +1,6 @@
 """Tests for the execution-time scenarios."""
 
+import numpy as np
 import pytest
 
 from repro.model import MCTask
@@ -72,6 +73,31 @@ class TestRandom:
         for _ in range(300):
             e = scenario.draw(hi_task, rng)
             assert e <= 2.0 or 2.0 < e <= 5.0 or 5.0 < e <= 9.0
+
+    def test_escalated_band_excludes_lower_budget(self, hi_task):
+        # Regression pin for the half-open band semantics: a draw that
+        # escalated into band k must be a *strict* overrun of c(k-1) —
+        # landing exactly on the previous budget would not constitute
+        # an overrun.  Seeded so the stream is reproducible.
+        scenario = RandomScenario(overrun_prob=1.0)
+        rng = np.random.default_rng(0x5EED)
+        for _ in range(2000):
+            e = scenario.draw(hi_task, rng)
+            assert 5.0 < e <= 9.0
+
+    def test_draw_matches_seeded_value_stream(self, hi_task):
+        # Pin the exact transformation e = c(k) - U(0, c(k) - c(k-1)),
+        # which realises (c(k-1), c(k)] because `uniform` draws from the
+        # half-open [0, width).  A change back to `uniform(low, high)`
+        # (which can return `low` but never `high`) breaks this.
+        scenario = RandomScenario(overrun_prob=1.0)
+        rng = np.random.default_rng(99)
+        shadow = np.random.default_rng(99)
+        for _ in range(50):
+            e = scenario.draw(hi_task, rng)
+            shadow.random()  # escalation flip 1 -> 2
+            shadow.random()  # escalation flip 2 -> 3
+            assert e == 9.0 - shadow.uniform(0.0, 9.0 - 5.0)
 
     def test_invalid_probability(self):
         with pytest.raises(SimulationError):
