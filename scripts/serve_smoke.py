@@ -6,7 +6,10 @@ ISSUE acceptance criteria from the outside:
 
 1.  **Offline parity** — ``POST /admit`` answers are bit-identical to
     running the same partitioner offline, for several random task sets
-    and schemes.
+    and schemes; ``POST /explain`` documents match the offline
+    explanation layer (modulo the recorded probe backend), and an
+    impossible ``/place`` 409s with a structured margin/condition
+    reason.
 2.  **Throughput** — a concurrent burst of ``POST /place`` admission
     queries sustains at least ``SERVE_SMOKE_MIN_QPS`` queries/s
     (default 1000) *and* the queries actually coalesce
@@ -15,7 +18,9 @@ ISSUE acceptance criteria from the outside:
     ``GET /metrics?format=prometheus`` parses as text exposition 0.0.4
     with ordered histogram buckets, ``GET /metrics/history`` returns
     the versioned windowed series (saved as the ``windowed-metrics``
-    CI artifact), and ``repro-mc top --once <url>`` renders a frame.
+    CI artifact), the ``serve_headroom`` gauge exposes a finite sample,
+    and ``repro-mc top --once <url>`` renders a frame with a headroom
+    row.
 4.  **Graceful shutdown** — SIGINT drains the queue, the process exits
     0, and the metrics dump + run manifest are written.
 5.  **SLO gate** — the daemon runs with ``--slo`` rules; the exported
@@ -56,6 +61,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.analysis.explain import explain_admission  # noqa: E402
 from repro.gen import WorkloadConfig, generate_taskset  # noqa: E402
 from repro.model.io import taskset_to_dict  # noqa: E402
 from repro.partition.registry import get_partitioner  # noqa: E402
@@ -162,6 +168,60 @@ def check_admit_parity(host: str, port: int) -> None:
     print("parity: 5 task sets x 3 schemes match offline exactly")
 
 
+def check_explain(host: str, port: int) -> None:
+    """``POST /explain`` must match the offline explanation layer.
+
+    The daemon explains under its incremental backend, the offline call
+    under the ambient batch backend; backends are bit-identical, so the
+    documents must agree on everything except the recorded
+    ``probe_impl`` name.
+    """
+    config = WorkloadConfig(cores=CORES, levels=2, nsu=0.7, ifc=1.0)
+    for seed in range(3):
+        taskset = generate_taskset(config, np.random.default_rng(seed))
+        status, body = request(
+            host,
+            port,
+            "POST",
+            "/explain",
+            {"taskset": taskset_to_dict(taskset), "cores": CORES},
+        )
+        assert status == 200, f"explain seed={seed}: HTTP {status}"
+        assert body["version"] == 1, body.get("version")
+        assert body.pop("probe_impl") == "incremental", body
+        body.pop("request_id", None)
+        offline = explain_admission(taskset, CORES).to_dict()
+        offline.pop("probe_impl")
+        assert body == offline, (
+            f"/explain diverges from offline explain (seed={seed})"
+        )
+        headroom = body["headroom"]
+        assert headroom["system"] is not None, headroom
+    print("explain: 3 task sets match the offline explanation exactly")
+
+
+def check_place_rejection_reason(host: str, port: int) -> None:
+    """An impossible task must 409 with a structured reason body."""
+    status, body = request(
+        host,
+        port,
+        "POST",
+        "/place",
+        {"task": {"period": 1.0, "wcets": [2.0, 3.0], "name": "whale"}},
+    )
+    assert status == 409, f"impossible task: HTTP {status}"
+    reason = body.get("reason")
+    assert reason is not None, f"409 body has no reason: {body}"
+    assert reason["best_margin"] < 0.0, reason
+    assert len(reason["cores"]) == CORES, reason
+    for entry in reason["cores"]:
+        assert entry["first_failing_condition"] is not None, entry
+    print(
+        f"place 409: structured reason (best core {reason['best_core']}, "
+        f"margin {reason['best_margin']:.3f})"
+    )
+
+
 def run_place_burst(host: str, port: int) -> dict:
     """Concurrent /place burst; returns counts + throughput."""
     per_thread = PLACES // THREADS
@@ -264,8 +324,21 @@ def check_prometheus(host: str, port: int) -> None:
             families.add(name)
             continue
         assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
-    for required in ("serve_requests_total", "serve_place_seconds"):
+    for required in (
+        "serve_requests_total",
+        "serve_place_seconds",
+        "serve_headroom",
+    ):
         assert required in families, f"{required} missing from {families}"
+    # The headroom gauge must always expose a finite sample — the
+    # bisection clamp guarantees it even for an empty daemon.
+    headroom_samples = [
+        float(line.rsplit(" ", 1)[1])
+        for line in body.splitlines()
+        if line.startswith("serve_headroom ")
+    ]
+    assert headroom_samples, "no serve_headroom sample"
+    assert all(np.isfinite(headroom_samples)), headroom_samples
     # Histogram buckets must carry increasing le bounds and cumulative
     # (non-decreasing) counts — the exposition-format contract.
     bounds: list[float] = []
@@ -315,7 +388,7 @@ def check_top(url: str) -> None:
     assert result.returncode == 0, f"top --once rc={result.returncode}: " + (
         result.stderr or result.stdout
     )
-    for needle in ("qps", "place p50/p95", "queue depth"):
+    for needle in ("qps", "place p50/p95", "queue depth", "headroom"):
         assert needle in result.stdout, (
             f"top frame missing {needle!r}:\n{result.stdout}"
         )
@@ -419,7 +492,13 @@ def main() -> int:
             # default — the offline-parity check below then proves the
             # backend choice changes no decision.
             assert body["probe_impl"] == "incremental", body
+            # Run the (rejected, state-free) /place probe first: it
+            # seeds serve.place.seconds before the daemon's first SLO
+            # tick, which would otherwise read an empty histogram as
+            # NaN and count one spurious startup alert.
+            check_place_rejection_reason(host, port)
             check_admit_parity(host, port)
+            check_explain(host, port)
             burst = run_place_burst(host, port)
             check_prometheus(host, port)
             check_history(host, port, artifact_dir)

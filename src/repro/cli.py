@@ -160,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
             "dynamic",
             "validate",
             "simulate",
+            "explain",
             "inspect",
             "trace",
             "bench",
@@ -171,7 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
             "injected-event resilience sweep, 'validate' to fuzz the "
             "cross-layer invariant oracles, 'simulate' to run one "
             "partitioned EDF-VD simulation (optionally with an injected "
-            "event script), 'inspect' to pretty-print "
+            "event script), 'explain' to decompose one admission decision "
+            "(per-core Theorem-1 condition margins, headroom, rejection "
+            "sensitivity), 'inspect' to pretty-print "
             "the run manifest of an existing artifact, 'trace' to analyse "
             "the span tree of an instrumented run, 'bench' to gate "
             "probe throughput against the committed baselines, 'serve' "
@@ -222,8 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         metavar="DIR",
+        nargs="?",
+        const="-",
         default=None,
-        help="also write each figure's SweepArtifact as <DIR>/<figure>.json",
+        help=(
+            "also write each figure's SweepArtifact as <DIR>/<figure>.json; "
+            "for 'explain', bare --json prints the explanation document to "
+            "stdout instead of the text report (a DIR writes "
+            "<DIR>/explain.json)"
+        ),
     )
     parser.add_argument(
         "--store",
@@ -286,8 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help=(
-            "simulate: task-set JSON (repro-mc-taskset format) to "
-            "partition (--scheme, --cores) and simulate"
+            "simulate/explain: task-set JSON (repro-mc-taskset format) to "
+            "partition (--scheme, --cores) and simulate or explain"
         ),
     )
     sim_group.add_argument(
@@ -302,7 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim_group.add_argument(
         "--scheme",
         default="ca-tpa",
-        help="simulate: partitioning scheme from the registry (default ca-tpa)",
+        help=(
+            "simulate/explain: partitioning scheme from the registry "
+            "(default ca-tpa)"
+        ),
     )
     sim_group.add_argument(
         "--scenario",
@@ -384,7 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--cores",
         type=int,
         default=4,
-        help="serve: cores of the live system the daemon manages (default 4)",
+        help=(
+            "serve/simulate/explain: cores of the target system (default 4)"
+        ),
     )
     serve_group.add_argument(
         "--levels",
@@ -961,6 +976,57 @@ def _top(args) -> int:
         return 0
 
 
+def _explain_cmd(args) -> int:
+    """``repro-mc explain``: decompose one admission decision.
+
+    The task set comes from ``--taskset PATH`` or a single positional
+    path.  ``--json`` (bare) prints the :class:`ProbeExplanation`
+    document to stdout; ``--json DIR`` writes ``<DIR>/explain.json``
+    and still prints the text report; neither prints the report only.
+    """
+    from repro.analysis.explain import explain_admission, format_explanation
+    from repro.model import load_taskset
+
+    if args.taskset is not None and args.paths:
+        print(
+            "repro-mc explain: pass the task set either as --taskset PATH "
+            "or as one positional path, not both",
+            file=sys.stderr,
+        )
+        return 2
+    path = args.taskset if args.taskset is not None else (
+        args.paths[0] if len(args.paths) == 1 else None
+    )
+    if path is None:
+        print(
+            "repro-mc explain: exactly one task-set JSON is required "
+            "(--taskset PATH or a positional path)",
+            file=sys.stderr,
+        )
+        return 2
+    taskset = load_taskset(path)
+    exp = explain_admission(
+        taskset,
+        args.cores,
+        args.scheme,
+        probe_impl=args.probe_impl,
+    )
+    if args.json == "-":
+        print(
+            json.dumps(exp.to_dict(), indent=2, allow_nan=False),
+            file=args.out,
+        )
+        return 0
+    if args.json is not None:
+        out_dir = Path(args.json)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "explain.json").write_text(
+            json.dumps(exp.to_dict(), indent=2, allow_nan=False) + "\n"
+        )
+    print(format_explanation(exp), file=args.out)
+    return 0
+
+
 def _dispatch(args, command: list[str]) -> int:
     if args.probe_impl is not None:
         try:
@@ -968,6 +1034,19 @@ def _dispatch(args, command: list[str]) -> int:
         except ReproError as exc:
             print(f"repro-mc: {exc}", file=sys.stderr)
             return 2
+    if args.experiment == "explain":
+        try:
+            return _explain_cmd(args)
+        except ReproError as exc:
+            print(f"repro-mc explain: {exc}", file=sys.stderr)
+            return 1
+    if args.json == "-":
+        print(
+            "repro-mc: bare --json (print to stdout) is only supported by "
+            "'explain'; pass --json DIR",
+            file=sys.stderr,
+        )
+        return 2
     if args.experiment == "inspect":
         return _inspect(args.paths, args.out)
     if args.experiment == "trace":

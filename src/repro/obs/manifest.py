@@ -138,11 +138,25 @@ def _format_summary_row(name: str, s: dict) -> str:
     )
 
 
+def _format_histogram_row(name: str, h: dict) -> str:
+    if not h["count"]:
+        return f"  {name:<40} (empty)"
+    row = (
+        f"  {name:<40} n={h['count']:<8} p50={h['p50']:.4g} "
+        f"p95={h['p95']:.4g} p99={h['p99']:.4g} max={h['max']:.4g}"
+    )
+    overflow = h.get("overflow", 0)
+    if overflow:
+        row += f" overflow={overflow}"
+    return row
+
+
 def format_manifest(manifest: dict, *, top: int = 20) -> str:
     """Human-readable rendering for ``repro-mc inspect``.
 
     Counters are sorted by value (descending) and truncated to ``top``
-    rows; summaries print their full bounded digest.
+    rows; summaries and histograms print their full bounded digests
+    (histogram rows include the overflow-bucket count when non-zero).
     """
     lines = [
         f"Run manifest (v{manifest['manifest_version']})",
@@ -188,6 +202,11 @@ def format_manifest(manifest: dict, *, top: int = 20) -> str:
         shard_seconds = engine.get("shard_seconds")
         if shard_seconds:
             lines.append(_format_summary_row("shard_seconds", shard_seconds))
+        shard_hist = engine.get("shard_seconds_hist")
+        if shard_hist:
+            lines.append(
+                _format_histogram_row("shard_seconds_hist", shard_hist)
+            )
 
     metrics = manifest.get("metrics") or {}
     counters = metrics.get("counters") or {}
@@ -203,4 +222,10 @@ def format_manifest(manifest: dict, *, top: int = 20) -> str:
         lines.append("Summaries")
         for name in sorted(summaries):
             lines.append(_format_summary_row(name, summaries[name]))
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        lines.append("")
+        lines.append("Histograms")
+        for name in sorted(histograms):
+            lines.append(_format_histogram_row(name, histograms[name]))
     return "\n".join(lines)

@@ -252,7 +252,12 @@ class Histogram:
         return self.max  # pragma: no cover - rank <= count always hits
 
     def as_dict(self) -> dict:
-        """Bounded reporting form: count/total/min/max/p50/p95/p99."""
+        """Bounded reporting form: count/total/min/max/p50/p95/p99/overflow.
+
+        ``overflow`` is the count of observations past the last bucket
+        edge — manifest rendering surfaces it so a saturated histogram
+        is visible at a glance.
+        """
         if self.count == 0:
             return {
                 "count": 0,
@@ -262,6 +267,7 @@ class Histogram:
                 "p50": None,
                 "p95": None,
                 "p99": None,
+                "overflow": 0,
             }
         return {
             "count": self.count,
@@ -271,6 +277,7 @@ class Histogram:
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),
+            "overflow": int(self.counts[-1]),
         }
 
     def digest(self) -> dict:

@@ -140,6 +140,8 @@ class DaemonSource:
             f"  queue depth     {gauges.get('serve.queue_depth', 0.0):8.0f}   "
             f"tasks {gauges.get('serve.tasks', 0.0):.0f}   "
             f"Λ {gauges.get('serve.lambda', 0.0):.3f}",
+            f"  headroom α      {gauges.get('serve.headroom', 0.0):8.2f}   "
+            f"(max admissible demand scale)",
         ]
         return "\n".join(lines)
 

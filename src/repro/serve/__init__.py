@@ -10,7 +10,12 @@ admission queries over local HTTP/JSON:
   ``serve-offline`` validation oracle).
 * ``POST /place`` — which core should this new task go to, given the
   live system state?  Placements are micro-batched: concurrent requests
-  coalesce into a single call of the stacked probe kernel.
+  coalesce into a single call of the stacked probe kernel.  Rejections
+  (409) carry a structured ``reason``: the closest core, its margin,
+  and each core's first failing Theorem-1 condition.
+* ``POST /explain`` — the full decision decomposition for a task set
+  (:class:`repro.analysis.explain.ProbeExplanation`): per-core
+  per-condition margins, headroom α, and rejection sensitivity.
 * ``GET /state`` — the current partition, per-core Eq.-(9) utilizations
   and the Eq.-(16) imbalance factor ``Lambda`` — served lock-free from
   an immutable snapshot.
@@ -26,9 +31,11 @@ from repro.serve.daemon import ServeConfig, ServeDaemon, run_forever
 from repro.serve.handlers import Api
 from repro.serve.protocol import (
     AdmitRequest,
+    ExplainRequest,
     PlaceRequest,
     ProtocolError,
     parse_admit,
+    parse_explain,
     parse_place,
 )
 from repro.serve.state import ServeState, StateSnapshot
@@ -37,6 +44,7 @@ __all__ = [
     "Api",
     "AdmitRequest",
     "Coordinator",
+    "ExplainRequest",
     "MicroBatcher",
     "PlaceRequest",
     "ProtocolError",
@@ -46,6 +54,7 @@ __all__ = [
     "ServeState",
     "StateSnapshot",
     "parse_admit",
+    "parse_explain",
     "parse_place",
     "run_forever",
 ]

@@ -27,7 +27,7 @@ class ServeOverflow(ReproError):
 
 @dataclass
 class WorkItem:
-    """One pending request: ``kind`` is ``"admit"`` or ``"place"``.
+    """One pending request: ``kind`` is ``"admit"``, ``"explain"`` or ``"place"``.
 
     Ingress stamps the tracing identity: ``request_id`` (unique per
     daemon process, echoed in the response body and on the request's

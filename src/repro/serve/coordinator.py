@@ -31,6 +31,7 @@ import time
 
 import numpy as np
 
+from repro.analysis.explain import explain_admission, place_rejection_reason
 from repro.metrics.core import imbalance_factor
 from repro.model import MCTaskSet, Partition
 from repro.obs.live import LiveMetrics
@@ -39,7 +40,12 @@ from repro.partition.backend import get_backend
 from repro.partition.probe import batch_probe_tasks, use_probe_implementation
 from repro.partition.registry import get_partitioner
 from repro.serve.batcher import MicroBatcher, WorkItem
-from repro.serve.protocol import AdmitRequest, PlaceRequest, ProtocolError
+from repro.serve.protocol import (
+    AdmitRequest,
+    ExplainRequest,
+    PlaceRequest,
+    ProtocolError,
+)
 from repro.serve.state import ServeState
 from repro.types import ReproError
 
@@ -96,9 +102,10 @@ class Coordinator:
             flush_id = current_span_id()
             with use_probe_implementation(self.probe_impl):
                 for item in batch:
-                    if item.kind == "admit":
+                    if item.kind in ("admit", "explain"):
+                        fn = self._admit if item.kind == "admit" else self._explain
                         t0 = time.perf_counter()
-                        self._resolve(item, self._admit, item.request)
+                        self._resolve(item, fn, item.request)
                         self._finish_request(
                             item,
                             flush_start,
@@ -179,6 +186,23 @@ class Coordinator:
         }
 
     # ------------------------------------------------------------------
+    # /explain: the full decision decomposition, scalar kernel, off-path
+    # ------------------------------------------------------------------
+    def _explain(self, req: ExplainRequest) -> dict:
+        if OBS.enabled:
+            OBS.registry.counter(f"serve.explain.requests[{req.scheme}]").inc()
+        with span("serve.explain", scheme=req.scheme, cores=req.cores):
+            # The partitioning run inherits the flush's ambient probe
+            # backend; the recorded ``probe_impl`` field says which one
+            # decided.  Backends are pinned bit-identical, so the
+            # document matches an offline explain modulo that field —
+            # exactly what scripts/serve_smoke.py asserts.
+            exp = explain_admission(
+                req.taskset, req.cores, req.scheme, rule=self.rule
+            )
+        return exp.to_dict()
+
+    # ------------------------------------------------------------------
     # /place: one stacked kernel call per flush
     # ------------------------------------------------------------------
     def _place_flush(
@@ -228,11 +252,21 @@ class Coordinator:
             utils = batch_probe_tasks(part, idx, rule=self.rule)
             kernel_total += time.perf_counter() - t0
             decisions: list[int | None] = []
+            reasons: list[dict | None] = []
             for t, task_index in enumerate(idx):
                 core = self._best_core(utils[t])
                 decisions.append(core)
                 if core is None:
+                    # Explain the refusal against the exact partition
+                    # state this row was probed on (scalar kernel, only
+                    # for rejected rows — the accept path is untouched).
+                    reasons.append(
+                        place_rejection_reason(
+                            part, grown[task_index], rule=self.rule
+                        )
+                    )
                     continue
+                reasons.append(None)
                 part.assign(task_index, core)
                 remaining = idx[t + 1 :]
                 if remaining:
@@ -281,14 +315,16 @@ class Coordinator:
         apply_share = apply_total / len(ready)
 
         reg = OBS.registry
-        for item, core in zip(ready, decisions):
+        for item, core, reason in zip(ready, decisions, reasons):
             if OBS.enabled:
                 name = "accepted" if core is not None else "rejected"
                 reg.counter(f"serve.place.{name}").inc()
             if self.live is not None:
                 name = "accepted" if core is not None else "rejected"
                 self.live.inc(f"serve.place.{name}")
-            self._resolve(item, self._place_response, item.request, core, snap_seq)
+            self._resolve(
+                item, self._place_response, item.request, core, snap_seq, reason
+            )
             self._finish_request(
                 item,
                 flush_start,
@@ -298,9 +334,13 @@ class Coordinator:
             )
 
     def _place_response(
-        self, req: PlaceRequest, core: int | None, seq: int
+        self,
+        req: PlaceRequest,
+        core: int | None,
+        seq: int,
+        reason: dict | None = None,
     ) -> dict:
-        return {
+        body = {
             "task": {
                 "name": req.task.name,
                 "period": req.task.period,
@@ -310,6 +350,12 @@ class Coordinator:
             "core": core,
             "seq": seq,
         }
+        if core is None:
+            # Structured refusal: best core + margin and, per core, the
+            # first failing Theorem-1 condition (see
+            # ``repro.analysis.explain.place_rejection_reason``).
+            body["reason"] = reason
+        return body
 
     @staticmethod
     def _raise(exc: Exception) -> None:

@@ -86,6 +86,7 @@ class ServeDaemon:
         self.live.gauge("serve.state_seq", lambda: self.state.snapshot.seq)
         self.live.gauge("serve.tasks", lambda: self.state.snapshot.task_count)
         self.live.gauge("serve.lambda", self._lambda_gauge)
+        self.live.gauge("serve.headroom", self._headroom_gauge)
         # Bad SLO syntax fails here, before any socket binds.
         self.slo = SloMonitor([parse_slo(rule) for rule in config.slo])
         # The Coordinator validates probe_impl eagerly: an unknown name
@@ -107,6 +108,21 @@ class ServeDaemon:
         from repro.metrics.core import imbalance_factor
 
         return float(imbalance_factor(self.state.snapshot.utilizations()))
+
+    def _headroom_gauge(self) -> float:
+        """System headroom α over the published snapshot (live gauge).
+
+        The max uniform demand scale the live partition still admits,
+        clamped to ``HEADROOM_MAX_SCALE`` — always finite, so the
+        Prometheus exposition never emits ``+Inf``.  An empty daemon
+        reports the clamp.
+        """
+        from repro.analysis.explain import HEADROOM_MAX_SCALE, headroom_profile
+
+        part = self.state.snapshot.partition
+        if part is None:
+            return float(HEADROOM_MAX_SCALE)
+        return float(headroom_profile(part).system)
 
     async def _slo_loop(self) -> None:
         """Periodic SLO evaluation over the live window (edge-triggered).

@@ -4,7 +4,7 @@
 ``(status, json_body_or_text)``.  Reads (``/state``, ``/metrics``,
 ``/metrics/history``, ``/healthz``) are answered inline from immutable
 snapshots and the live window — no queue, no lock, nothing blocking the
-event loop.  Writes (``/admit``, ``/place``) are submitted to the
+event loop.  Queued work (``/admit``, ``/explain``, ``/place``) is submitted to the
 :class:`MicroBatcher` and awaited; a full queue turns into ``503``
 (backpressure), malformed bodies into ``400``.
 
@@ -22,7 +22,12 @@ import time
 from repro.obs.live import LiveMetrics, render_prometheus
 from repro.obs.runtime import OBS
 from repro.serve.batcher import MicroBatcher, ServeOverflow
-from repro.serve.protocol import ProtocolError, parse_admit, parse_place
+from repro.serve.protocol import (
+    ProtocolError,
+    parse_admit,
+    parse_explain,
+    parse_place,
+)
 from repro.serve.state import ServeState
 from repro.types import ReproError
 
@@ -75,6 +80,9 @@ class Api:
         if path == "/admit" and method == "POST":
             future = self.batcher.submit("admit", parse_admit(payload))
             return 200, await future
+        if path == "/explain" and method == "POST":
+            future = self.batcher.submit("explain", parse_explain(payload))
+            return 200, await future
         if path == "/place" and method == "POST":
             future = self.batcher.submit("place", parse_place(payload))
             body = await future
@@ -107,6 +115,7 @@ class Api:
             }
         if path in (
             "/admit",
+            "/explain",
             "/place",
             "/state",
             "/metrics",

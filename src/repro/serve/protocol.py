@@ -19,8 +19,10 @@ from repro.types import ModelError, ReproError
 __all__ = [
     "ProtocolError",
     "AdmitRequest",
+    "ExplainRequest",
     "PlaceRequest",
     "parse_admit",
+    "parse_explain",
     "parse_place",
 ]
 
@@ -39,6 +41,20 @@ class ProtocolError(ReproError):
 @dataclass(frozen=True)
 class AdmitRequest:
     """``POST /admit``: can ``taskset`` go on ``cores`` under ``scheme``?"""
+
+    taskset: MCTaskSet
+    cores: int
+    scheme: str
+
+
+@dataclass(frozen=True)
+class ExplainRequest:
+    """``POST /explain``: decompose the admission decision for ``taskset``.
+
+    Same body as ``/admit``; the answer is the full
+    :class:`repro.analysis.explain.ProbeExplanation` document instead of
+    the bare verdict.
+    """
 
     taskset: MCTaskSet
     cores: int
@@ -76,6 +92,12 @@ def parse_admit(payload: object) -> AdmitRequest:
             f"unknown scheme {scheme!r}; available: {available_schemes()}"
         )
     return AdmitRequest(taskset=taskset, cores=cores, scheme=scheme)
+
+
+def parse_explain(payload: object) -> ExplainRequest:
+    """Validate an ``/explain`` body — identical shape to ``/admit``."""
+    req = parse_admit(payload)
+    return ExplainRequest(taskset=req.taskset, cores=req.cores, scheme=req.scheme)
 
 
 def parse_place(payload: object) -> PlaceRequest:

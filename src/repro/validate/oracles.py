@@ -43,6 +43,12 @@ Built-in oracles
     The admission daemon's ``/admit`` answers (coordinator + micro-
     batcher, all schemes submitted concurrently) are bit-identical to
     the offline partitioner's results.
+``explain-decision``
+    The structured explanation layer reproduces every backend's
+    admission decision: ``ProbeExplanation.admitted`` matches the
+    partitioner's verdict under scalar/batch/incremental, all decision
+    margins are nonnegative iff the set is admitted, and the
+    explanation document itself is backend-invariant.
 ``events-job-conservation``
     Under a deterministic injection script covering all four event
     families (WCET burst + recovery window, arrival + departure, core
@@ -477,6 +483,86 @@ def _check_serve_offline(case: ValidationCase) -> list[str]:
                 f"{scheme}: serve /admit diverges from the offline "
                 f"partitioner on (serve, offline) = {diff}"
             )
+    return failures
+
+
+@register_oracle(
+    "explain-decision",
+    "explanation margins reproduce every backend's admission decision",
+)
+def _check_explain_decision(case: ValidationCase) -> list[str]:
+    """Differential: the introspection layer vs. the decision layer.
+
+    For every scheme, build a :class:`ProbeExplanation` from the cached
+    batch result (scalar kernel, no re-partitioning) and require
+
+    * ``admitted`` == the partitioner's ``schedulable`` verdict;
+    * every decision margin ``>= -EPS``  <=>  admitted — the sign of
+      the margins *is* the decision;
+    * the same document (modulo the recorded ``probe_impl``) from the
+      scalar and incremental backends' partition results — explanations
+      are backend-invariant because the backends are bit-identical.
+
+    Headroom/sensitivity are skipped: they are derived views (their own
+    bisection invariant is property-tested in ``tests/analysis``), and
+    the campaign runs this oracle over hundreds of cases.
+    """
+    from repro.analysis.explain import explain_result
+    from repro.types import EPS
+
+    failures = []
+    batch = case.scheme_results()
+    reference = {}
+    for spec in case.schemes:
+        b = batch[spec.label]
+        exp = explain_result(
+            case.taskset,
+            case.config.cores,
+            b,
+            probe_impl="batch",
+            include_headroom=False,
+            include_sensitivity=False,
+        )
+        reference[spec.label] = exp
+        if exp.admitted != b.schedulable:
+            failures.append(
+                f"{spec.label}: explanation says admitted={exp.admitted} "
+                f"but the partitioner says schedulable={b.schedulable}"
+            )
+        margins = exp.decision_margins()
+        margins_admit = all(m >= -EPS for m in margins)
+        if (b.schedulable or b.failed_task is not None) and (
+            margins_admit != exp.admitted
+        ):
+            failures.append(
+                f"{spec.label}: decision margins {margins} imply "
+                f"admitted={margins_admit} but the decision was "
+                f"admitted={exp.admitted}"
+            )
+    for impl in ("scalar", "incremental"):
+        with use_probe_implementation(impl):
+            for spec in case.schemes:
+                r = spec.build().partition(case.taskset, case.config.cores)
+                exp = explain_result(
+                    case.taskset,
+                    case.config.cores,
+                    r,
+                    probe_impl=impl,
+                    include_headroom=False,
+                    include_sensitivity=False,
+                )
+                got = exp.to_dict()
+                want = reference[spec.label].to_dict()
+                got.pop("probe_impl")
+                want.pop("probe_impl")
+                if got != want:
+                    diff = sorted(
+                        k for k in want if got.get(k) != want.get(k)
+                    )
+                    failures.append(
+                        f"{spec.label}: {impl}/batch explanations diverge "
+                        f"on {diff}"
+                    )
     return failures
 
 

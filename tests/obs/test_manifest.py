@@ -118,3 +118,54 @@ class TestFormat:
         # Ranked by value descending: c049 shown, c001 cut.
         assert "c049" in text
         assert "c001" not in text
+
+    def test_renders_engine_histogram_row(self, tmp_path):
+        m = _manifest(tmp_path)
+        m["engine"]["shard_seconds_hist"] = {
+            "count": 9,
+            "total": 1.25,
+            "min": 0.1,
+            "max": 0.3,
+            "p50": 0.12,
+            "p95": 0.29,
+            "p99": 0.3,
+            "overflow": 0,
+        }
+        text = format_manifest(m)
+        assert "shard_seconds_hist" in text
+        assert "p99=0.3" in text
+        # Zero overflow stays silent — it is the healthy steady state.
+        assert "overflow" not in text
+
+    def test_renders_metrics_histograms_section(self, tmp_path):
+        metrics = {
+            "counters": {},
+            "summaries": {},
+            "histograms": {
+                "serve.place.seconds": {
+                    "count": 120,
+                    "total": 0.6,
+                    "min": 0.001,
+                    "max": 9.0,
+                    "p50": 0.004,
+                    "p95": 0.02,
+                    "p99": 0.05,
+                    "overflow": 3,
+                },
+                "serve.empty": {
+                    "count": 0,
+                    "total": 0.0,
+                    "min": None,
+                    "max": None,
+                    "p50": None,
+                    "p95": None,
+                    "p99": None,
+                    "overflow": 0,
+                },
+            },
+        }
+        text = format_manifest(_manifest(tmp_path, metrics=metrics))
+        assert "Histograms" in text
+        assert "serve.place.seconds" in text
+        assert "overflow=3" in text
+        assert "serve.empty" in text and "(empty)" in text
